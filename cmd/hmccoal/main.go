@@ -1,0 +1,185 @@
+// Command hmccoal regenerates the evaluation figures of "Memory Coalescing
+// for Hybrid Memory Cube" (ICPP 2018) on the simulated system.
+//
+// Usage:
+//
+//	hmccoal -fig all                 # every figure
+//	hmccoal -fig 8 -ops 8000         # one figure at a larger scale
+//	hmccoal -fig 10 -bench HPCG      # Figure 10 for a chosen benchmark
+//	hmccoal -list                    # list the benchmarks
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hmccoal"
+	"hmccoal/internal/trace"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 1,2,8,9,10,11,12,13,14,15 or 'all'")
+		ops    = flag.Int("ops", 4000, "approximate memory operations per CPU (scale)")
+		seed   = flag.Int64("seed", 3, "workload random seed")
+		cpus   = flag.Int("cpus", 12, "number of simulated CPUs")
+		bench  = flag.String("bench", "HPCG", "benchmark for figure 10")
+		list   = flag.Bool("list", false, "list benchmarks and exit")
+		chart  = flag.Bool("chart", false, "append ASCII bar charts to figures 8 and 15")
+		replay = flag.String("trace", "", "replay a binary trace file (from tracegen/rvsim) instead of running the benchmark suite")
+		asJSON = flag.Bool("json", false, "with -trace: emit the full results as JSON")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		if err := replayTrace(*replay, *cpus, *asJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *list {
+		for _, name := range hmccoal.Benchmarks() {
+			desc, _ := hmccoal.DescribeBenchmark(name)
+			fmt.Printf("%-9s %s\n", name, desc)
+		}
+		return
+	}
+
+	p := hmccoal.TraceParams{CPUs: *cpus, OpsPerCPU: *ops, Seed: *seed}
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	need := func(f string) bool { return all || want[f] }
+
+	if need("1") {
+		section("Figure 1 — bandwidth efficiency of HMC request packets")
+		fmt.Print(hmccoal.Figure1Table())
+	}
+	if need("2") {
+		section("Figure 2 — control overhead of different requested data size")
+		fmt.Print(hmccoal.Figure2Table())
+	}
+
+	needsRuns := false
+	for _, f := range []string{"8", "9", "10", "11", "12", "13", "15"} {
+		if need(f) {
+			needsRuns = true
+		}
+	}
+	var runs []hmccoal.BenchmarkRun
+	if needsRuns {
+		fmt.Fprintf(os.Stderr, "running %d benchmarks × 3 architectures at %d ops/CPU…\n",
+			len(hmccoal.Benchmarks()), *ops)
+		var err error
+		runs, err = hmccoal.RunAll(p)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if need("8") {
+		section("Figure 8 — coalescing efficiency")
+		fmt.Print(hmccoal.Figure8Table(runs))
+		if *chart {
+			fmt.Printf("\n%s", hmccoal.Figure8Chart(runs))
+		}
+	}
+	if need("9") {
+		section("Figure 9 — bandwidth efficiency of coalesced and raw requests")
+		fmt.Print(hmccoal.Figure9Table(runs))
+	}
+	if need("10") {
+		section(fmt.Sprintf("Figure 10 — coalesced HMC request distribution of %s", *bench))
+		for _, r := range runs {
+			if r.Name == *bench {
+				fmt.Print(hmccoal.Figure10Table(r))
+			}
+		}
+	}
+	if need("11") {
+		section("Figure 11 — bandwidth saving")
+		fmt.Print(hmccoal.Figure11Table(runs))
+	}
+	if need("12") {
+		section("Figure 12 — average latency of coalescing in the DMC unit")
+		fmt.Print(hmccoal.Figure12Table(runs))
+	}
+	if need("13") {
+		section("Figure 13 — average time cost of filling up the CRQ")
+		fmt.Print(hmccoal.Figure13Table(runs))
+	}
+	if need("14") {
+		section("Figure 14 — average coalescer latency vs timeout T")
+		table, err := hmccoal.Figure14Table(p, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(table)
+	}
+	if need("15") {
+		section("Figure 15 — performance improvement with memory coalescer")
+		fmt.Print(hmccoal.Figure15Table(runs))
+		if *chart {
+			fmt.Printf("\n%s", hmccoal.Figure15Chart(runs))
+		}
+	}
+}
+
+// replayTrace runs a captured trace file under the conventional MHA and
+// the memory coalescer and prints both summaries.
+func replayTrace(path string, cpus int, asJSON bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	accs, err := trace.NewReader(f).ReadAll()
+	if err != nil {
+		return err
+	}
+	accs = trace.Merge(accs) // captured traces may be loosely ordered
+	if !asJSON {
+		fmt.Println(trace.Summarize(accs))
+	}
+	results := map[string]hmccoal.Result{}
+	for _, mode := range []hmccoal.Mode{hmccoal.ModeBaseline, hmccoal.ModeTwoPhase} {
+		cfg := hmccoal.DefaultConfig()
+		cfg.Hierarchy.CPUs = cpus
+		cfg.Mode = mode
+		sys, err := hmccoal.NewSystem(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := sys.Run(accs)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			results[mode.String()] = res
+			continue
+		}
+		section(fmt.Sprintf("%v", mode))
+		fmt.Print(res.Summary())
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	return nil
+}
+
+func section(title string) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hmccoal:", err)
+	os.Exit(1)
+}

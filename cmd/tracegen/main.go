@@ -1,0 +1,80 @@
+// Command tracegen synthesizes a benchmark's multi-core memory trace and
+// writes it to a file in the binary or text trace format.
+//
+// Usage:
+//
+//	tracegen -bench FT -ops 10000 -o ft.trace
+//	tracegen -bench HPCG -format text -o hpcg.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hmccoal"
+	"hmccoal/internal/trace"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "FT", "benchmark to generate (see -list)")
+		ops    = flag.Int("ops", 10000, "approximate memory operations per CPU")
+		cpus   = flag.Int("cpus", 12, "number of CPUs")
+		seed   = flag.Int64("seed", 1, "random seed")
+		think  = flag.Float64("think", 1.0, "compute think-time multiplier (lower = more memory-bound)")
+		out    = flag.String("o", "", "output file (default: <bench>.trace)")
+		format = flag.String("format", "binary", "output format: binary or text")
+		list   = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range hmccoal.Benchmarks() {
+			desc, _ := hmccoal.DescribeBenchmark(name)
+			fmt.Printf("%-9s %s\n", name, desc)
+		}
+		return
+	}
+
+	accs, err := hmccoal.GenerateTrace(*bench, hmccoal.TraceParams{
+		CPUs: *cpus, OpsPerCPU: *ops, Seed: *seed, ThinkScale: *think,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	path := *out
+	if path == "" {
+		path = *bench + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	switch *format {
+	case "binary":
+		w := trace.NewWriter(f)
+		if err := w.WriteAll(accs); err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+	case "text":
+		if err := trace.WriteText(f, accs); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	fmt.Println(trace.Summarize(accs))
+	fmt.Printf("wrote %d accesses to %s (%s)\n", len(accs), path, *format)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

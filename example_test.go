@@ -1,0 +1,67 @@
+package hmccoal_test
+
+import (
+	"fmt"
+	"log"
+
+	"hmccoal"
+)
+
+// The basic flow: generate a benchmark trace, build a system, run it.
+func Example() {
+	params := hmccoal.TraceParams{CPUs: 4, OpsPerCPU: 500, Seed: 1}
+	accs, err := hmccoal.GenerateTrace("STREAM", params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := hmccoal.DefaultConfig()
+	cfg.Hierarchy.CPUs = 4
+	sys, err := hmccoal.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run(accs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.HMCRequests < res.LLCMisses) // the coalescer eliminated requests
+	// Output: true
+}
+
+// Comparing the conventional miss-handling architecture with the coalescer.
+func ExampleConfig_modes() {
+	params := hmccoal.TraceParams{CPUs: 4, OpsPerCPU: 500, Seed: 1}
+	accs, _ := hmccoal.GenerateTrace("FT", params)
+	requests := map[hmccoal.Mode]uint64{}
+	for _, mode := range []hmccoal.Mode{hmccoal.ModeBaseline, hmccoal.ModeTwoPhase} {
+		cfg := hmccoal.DefaultConfig()
+		cfg.Hierarchy.CPUs = 4
+		cfg.Mode = mode
+		sys, _ := hmccoal.NewSystem(cfg)
+		res, err := sys.Run(accs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		requests[mode] = res.HMCRequests
+	}
+	fmt.Println(requests[hmccoal.ModeTwoPhase] < requests[hmccoal.ModeBaseline])
+	// Output: true
+}
+
+// Building a trace by hand through the public API.
+func ExampleMergeTraces() {
+	var a, b []hmccoal.Access
+	for i := uint64(0); i < 4; i++ {
+		a = append(a, hmccoal.Access{Addr: i * 64, Size: 8, Kind: hmccoal.LoadAccess, CPU: 0, Tick: i * 10})
+		b = append(b, hmccoal.Access{Addr: 1 << 20, Size: 8, Kind: hmccoal.StoreAccess, CPU: 1, Tick: i*10 + 5})
+	}
+	merged := hmccoal.MergeTraces(a, b)
+	fmt.Println(len(merged), hmccoal.ValidateTrace(merged) == nil)
+	// Output: 8 true
+}
+
+// The analytic Figure 1 numbers are available without running anything.
+func ExampleFigure1Table() {
+	fmt.Println(len(hmccoal.Figure1Table()) > 0)
+	// Output: true
+}

@@ -1,0 +1,41 @@
+// Quickstart: simulate one benchmark on the paper's 12-CPU HMC system with
+// and without the memory coalescer, and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmccoal"
+)
+
+func main() {
+	params := hmccoal.DefaultTraceParams()
+	params.OpsPerCPU = 2000
+
+	accs, err := hmccoal.GenerateTrace("FT", params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FT trace: %d accesses from %d CPUs\n\n", len(accs), params.CPUs)
+
+	for _, mode := range []hmccoal.Mode{hmccoal.ModeBaseline, hmccoal.ModeTwoPhase} {
+		cfg := hmccoal.DefaultConfig()
+		cfg.Mode = mode
+		sys, err := hmccoal.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run(accs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", mode)
+		fmt.Printf("  runtime               %8.1f µs\n", res.RuntimeNs()/1000)
+		fmt.Printf("  LLC requests          %8d\n", res.LLCMisses)
+		fmt.Printf("  HMC requests          %8d\n", res.HMCRequests)
+		fmt.Printf("  coalescing efficiency %8.2f%%\n", 100*res.CoalescingEfficiency())
+		fmt.Printf("  transferred           %8.2f MB (%d row activations, %d bank conflicts)\n\n",
+			float64(res.HMC.TransferredBytes)/1e6, res.HMC.RowActivations, res.HMC.BankConflicts)
+	}
+}

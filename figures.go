@@ -1,0 +1,317 @@
+package hmccoal
+
+import (
+	"fmt"
+	"sort"
+
+	"hmccoal/internal/metrics"
+)
+
+// BenchmarkRun bundles one benchmark's results across the three evaluated
+// miss-handling architectures plus the payload-granularity analysis.
+type BenchmarkRun struct {
+	Name     string
+	Baseline Result // conventional MSHR-based coalescing
+	DMCOnly  Result // first phase only
+	TwoPhase Result // the full memory coalescer
+	Payload  PayloadAnalysis
+}
+
+// Speedup is the Figure 15 metric: runtime improvement of the two-phase
+// coalescer over the conventional MHA.
+func (r BenchmarkRun) Speedup() float64 {
+	if r.Baseline.RuntimeCycles == 0 {
+		return 0
+	}
+	return 1 - float64(r.TwoPhase.RuntimeCycles)/float64(r.Baseline.RuntimeCycles)
+}
+
+// RunBenchmark executes the named benchmark at the given scale under all
+// three architectures.
+func RunBenchmark(name string, p TraceParams) (BenchmarkRun, error) {
+	accs, err := GenerateTrace(name, p)
+	if err != nil {
+		return BenchmarkRun{}, err
+	}
+	run := BenchmarkRun{Name: name}
+	for _, m := range []struct {
+		mode Mode
+		dst  *Result
+	}{
+		{ModeBaseline, &run.Baseline},
+		{ModeDMCOnly, &run.DMCOnly},
+		{ModeTwoPhase, &run.TwoPhase},
+	} {
+		cfg := DefaultConfig()
+		cfg.Mode = m.mode
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return run, err
+		}
+		*m.dst, err = sys.Run(accs)
+		if err != nil {
+			return run, fmt.Errorf("%s/%v: %w", name, m.mode, err)
+		}
+	}
+	run.Payload, err = AnalyzePayload(DefaultConfig(), accs)
+	if err != nil {
+		return run, err
+	}
+	return run, nil
+}
+
+// RunAll executes every benchmark; results are in figure order.
+func RunAll(p TraceParams) ([]BenchmarkRun, error) {
+	var runs []BenchmarkRun
+	for _, name := range Benchmarks() {
+		r, err := RunBenchmark(name, p)
+		if err != nil {
+			return runs, err
+		}
+		runs = append(runs, r)
+	}
+	return runs, nil
+}
+
+// Figure1Table renders the analytic bandwidth-efficiency series.
+func Figure1Table() string {
+	rows := [][]string{{"request", "bandwidth efficiency", "control overhead"}}
+	for _, r := range metrics.Figure1() {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d B", r.RequestBytes),
+			metrics.Pct(r.Efficiency),
+			metrics.Pct(r.ControlOverhead),
+		})
+	}
+	return rows2(rows)
+}
+
+// Figure2Table renders the control-overhead-by-volume series.
+func Figure2Table() string {
+	rows := [][]string{{"data volume", "request size", "control data"}}
+	for _, r := range metrics.Figure2(nil) {
+		rows = append(rows, []string{
+			metrics.MB(int64(r.TotalBytes)),
+			fmt.Sprintf("%d B", r.RequestBytes),
+			metrics.MB(int64(r.ControlBytes)),
+		})
+	}
+	return rows2(rows)
+}
+
+// Figure8Table renders coalescing efficiency per benchmark and mode.
+func Figure8Table(runs []BenchmarkRun) string {
+	rows := [][]string{{"benchmark", "MSHR-based", "DMC unit", "two-phase"}}
+	var a, b, c float64
+	for _, r := range runs {
+		rows = append(rows, []string{
+			r.Name,
+			metrics.Pct(r.Baseline.CoalescingEfficiency()),
+			metrics.Pct(r.DMCOnly.CoalescingEfficiency()),
+			metrics.Pct(r.TwoPhase.CoalescingEfficiency()),
+		})
+		a += r.Baseline.CoalescingEfficiency()
+		b += r.DMCOnly.CoalescingEfficiency()
+		c += r.TwoPhase.CoalescingEfficiency()
+	}
+	n := float64(len(runs))
+	rows = append(rows, []string{"average", metrics.Pct(a / n), metrics.Pct(b / n), metrics.Pct(c / n)})
+	return rows2(rows)
+}
+
+// Figure9Table renders raw vs coalesced bandwidth efficiency (Equation 1,
+// payload-granularity per §5.3.2).
+func Figure9Table(runs []BenchmarkRun) string {
+	rows := [][]string{{"benchmark", "raw", "coalesced"}}
+	var a, b float64
+	for _, r := range runs {
+		rows = append(rows, []string{
+			r.Name,
+			metrics.Pct(r.Payload.RawEfficiency()),
+			metrics.Pct(r.Payload.CoalescedEfficiency()),
+		})
+		a += r.Payload.RawEfficiency()
+		b += r.Payload.CoalescedEfficiency()
+	}
+	n := float64(len(runs))
+	rows = append(rows, []string{"average", metrics.Pct(a / n), metrics.Pct(b / n)})
+	return rows2(rows)
+}
+
+// Figure10Table renders the coalesced request size distribution of one
+// benchmark (the paper plots HPCG).
+func Figure10Table(r BenchmarkRun) string {
+	sizes := make([]uint32, 0, len(r.Payload.Hist))
+	var total uint64
+	for s, n := range r.Payload.Hist {
+		sizes = append(sizes, s)
+		total += n
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	rows := [][]string{{"size", "requests", "share"}}
+	for _, s := range sizes {
+		n := r.Payload.Hist[s]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d B", s),
+			fmt.Sprintf("%d", n),
+			metrics.Pct(float64(n) / float64(total)),
+		})
+	}
+	return rows2(rows)
+}
+
+// Figure11Table renders per-benchmark bandwidth savings.
+func Figure11Table(runs []BenchmarkRun) string {
+	rows := [][]string{{"benchmark", "saved transfer"}}
+	var sum int64
+	for _, r := range runs {
+		rows = append(rows, []string{r.Name, metrics.MB(r.Payload.SavedBytes())})
+		sum += r.Payload.SavedBytes()
+	}
+	rows = append(rows, []string{"average", metrics.MB(sum / int64(len(runs)))})
+	return rows2(rows)
+}
+
+// Figure12Table renders the average DMC-unit coalescing latency.
+func Figure12Table(runs []BenchmarkRun) string {
+	rows := [][]string{{"benchmark", "DMC latency"}}
+	var sum float64
+	for _, r := range runs {
+		ns := r.TwoPhase.Coalescer.AvgDMCLatencyNs(r.TwoPhase.ClockGHz)
+		rows = append(rows, []string{r.Name, metrics.Ns(ns)})
+		sum += ns
+	}
+	rows = append(rows, []string{"average", metrics.Ns(sum / float64(len(runs)))})
+	return rows2(rows)
+}
+
+// Figure13Table renders the average CRQ fill time.
+func Figure13Table(runs []BenchmarkRun) string {
+	rows := [][]string{{"benchmark", "CRQ fill time"}}
+	var sum float64
+	for _, r := range runs {
+		ns := r.TwoPhase.Coalescer.AvgCRQFillNs(r.TwoPhase.ClockGHz)
+		rows = append(rows, []string{r.Name, metrics.Ns(ns)})
+		sum += ns
+	}
+	rows = append(rows, []string{"average", metrics.Ns(sum / float64(len(runs)))})
+	return rows2(rows)
+}
+
+// TimeoutSweep runs one benchmark's two-phase system across the Figure 14
+// timeout values, returning the average coalescer latency (ns) per timeout.
+func TimeoutSweep(name string, p TraceParams, timeouts []uint64) ([]float64, error) {
+	if len(timeouts) == 0 {
+		timeouts = []uint64{16, 20, 24, 28}
+	}
+	accs, err := GenerateTrace(name, p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(timeouts))
+	for _, to := range timeouts {
+		cfg := DefaultConfig()
+		cfg.Coalescer.TimeoutCycles = to
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.Run(accs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.Coalescer.AvgRequestLatencyNs(res.ClockGHz))
+	}
+	return out, nil
+}
+
+// Figure14Table renders the timeout sweep for every benchmark.
+func Figure14Table(p TraceParams, timeouts []uint64) (string, error) {
+	if len(timeouts) == 0 {
+		timeouts = []uint64{16, 20, 24, 28}
+	}
+	header := []string{"benchmark"}
+	for _, to := range timeouts {
+		header = append(header, fmt.Sprintf("T=%d", to))
+	}
+	rows := [][]string{header}
+	for _, name := range Benchmarks() {
+		lat, err := TimeoutSweep(name, p, timeouts)
+		if err != nil {
+			return "", err
+		}
+		row := []string{name}
+		for _, ns := range lat {
+			row = append(row, metrics.Ns(ns))
+		}
+		rows = append(rows, row)
+	}
+	return rows2(rows), nil
+}
+
+// Figure15Table renders the runtime improvement of the memory coalescer.
+func Figure15Table(runs []BenchmarkRun) string {
+	rows := [][]string{{"benchmark", "improvement"}}
+	var sum float64
+	for _, r := range runs {
+		rows = append(rows, []string{r.Name, metrics.Pct(r.Speedup())})
+		sum += r.Speedup()
+	}
+	rows = append(rows, []string{"average", metrics.Pct(sum / float64(len(runs)))})
+	return rows2(rows)
+}
+
+// rows2 formats a table (indirection keeps metrics out of the public API).
+func rows2(rows [][]string) string { return metrics.Table(rows) }
+
+// Figure8Chart renders the two-phase coalescing efficiency per benchmark
+// as an ASCII bar chart (percent).
+func Figure8Chart(runs []BenchmarkRun) string {
+	labels := make([]string, len(runs))
+	values := make([]float64, len(runs))
+	for i, r := range runs {
+		labels[i] = r.Name
+		values[i] = 100 * r.TwoPhase.CoalescingEfficiency()
+	}
+	return metrics.Bars(labels, values, 50)
+}
+
+// Figure15Chart renders the runtime improvement per benchmark as an ASCII
+// bar chart (percent).
+func Figure15Chart(runs []BenchmarkRun) string {
+	labels := make([]string, len(runs))
+	values := make([]float64, len(runs))
+	for i, r := range runs {
+		labels[i] = r.Name
+		values[i] = 100 * r.Speedup()
+	}
+	return metrics.Bars(labels, values, 50)
+}
+
+// MSHRSweep runs one benchmark's two-phase system across MSHR file sizes,
+// returning the coalescing efficiency per size — a scalability study of the
+// dynamic-MSHR design (the CRQ is resized in lockstep, as §3.2.2 requires).
+func MSHRSweep(name string, p TraceParams, entries []int) ([]float64, error) {
+	if len(entries) == 0 {
+		entries = []int{8, 16, 32, 64}
+	}
+	accs, err := GenerateTrace(name, p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(entries))
+	for _, n := range entries {
+		cfg := DefaultConfig()
+		cfg.Coalescer.MSHR.Entries = n
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.Run(accs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.CoalescingEfficiency())
+	}
+	return out, nil
+}

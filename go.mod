@@ -1,0 +1,3 @@
+module hmccoal
+
+go 1.22

@@ -1,0 +1,125 @@
+// Package hmccoal reproduces "Memory Coalescing for Hybrid Memory Cube"
+// (Wang, Leidel, Chen — ICPP 2018): a two-phase memory coalescer between a
+// shared last level cache and dynamic MSHRs that batches LLC misses, sorts
+// them on a pipelined odd–even merge network, fuses adjacent requests into
+// large HMC packets, and merges them against outstanding misses before they
+// reach a simulated Hybrid Memory Cube.
+//
+// The package is a facade over the implementation packages:
+//
+//	internal/sortnet    Batcher odd–even mergesort network + pipeline model
+//	internal/mshr       dynamic MSHRs with second-phase coalescing
+//	internal/coalescer  sorting pipeline + DMC unit + CRQ (the contribution)
+//	internal/hmc        HMC 2.1 device model (packets, vaults, banks, links)
+//	internal/cache      L1/L2/shared-LLC hierarchy
+//	internal/workloads  the 12 evaluation benchmark trace generators
+//	internal/sim        full-system simulator and metrics
+//	internal/riscv      RV64I emulator + assembler (Spike substitution)
+//
+// Quick start:
+//
+//	cfg := hmccoal.DefaultConfig()
+//	sys, _ := hmccoal.NewSystem(cfg)
+//	trace, _ := hmccoal.GenerateTrace("FT", hmccoal.DefaultTraceParams())
+//	res, _ := sys.Run(trace)
+//	fmt.Printf("coalescing efficiency: %.1f%%\n", 100*res.CoalescingEfficiency())
+package hmccoal
+
+import (
+	"fmt"
+
+	"hmccoal/internal/sim"
+	"hmccoal/internal/trace"
+	"hmccoal/internal/workloads"
+)
+
+// Core simulation API, re-exported from internal/sim.
+type (
+	// Config assembles a simulated system (hierarchy, coalescer, HMC).
+	Config = sim.Config
+	// Result carries a run's metrics; see its methods for the paper's
+	// derived figures (coalescing efficiency, bandwidth efficiency, …).
+	Result = sim.Result
+	// System is a single-use runnable machine.
+	System = sim.System
+	// Mode selects the miss-handling architecture (Figure 8 series).
+	Mode = sim.Mode
+	// Access is one memory operation of a trace.
+	Access = trace.Access
+	// PayloadAnalysis is the payload-granularity study of §5.3.2
+	// (Figures 9–11) plus the Figure 10 size distribution.
+	PayloadAnalysis = sim.PayloadAnalysis
+	// TraceParams scales a benchmark trace.
+	TraceParams = workloads.Params
+)
+
+// Miss-handling architectures under evaluation.
+const (
+	// ModeBaseline is the conventional MHA: MSHR-based coalescing only.
+	ModeBaseline = sim.Baseline
+	// ModeDMCOnly enables the sorting network + DMC unit without MSHR
+	// merging.
+	ModeDMCOnly = sim.DMCOnly
+	// ModeTwoPhase is the full memory coalescer.
+	ModeTwoPhase = sim.TwoPhase
+)
+
+// DefaultConfig returns the paper's evaluation system: 12 CPUs at 3.3 GHz,
+// 16 LLC MSHRs, sequence width 16, 8 GB HMC with 256 B blocks.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// NewSystem builds a simulated system. Systems are single-use: build a
+// fresh one per Run.
+func NewSystem(cfg Config) (*System, error) { return sim.NewSystem(cfg) }
+
+// DefaultTraceParams returns the 12-CPU laptop-scale workload sizing.
+func DefaultTraceParams() TraceParams { return workloads.DefaultParams() }
+
+// Benchmarks lists the 12 evaluation benchmark names in figure order.
+func Benchmarks() []string { return workloads.Names() }
+
+// GenerateTrace synthesizes the named benchmark's multi-core access trace.
+func GenerateTrace(name string, p TraceParams) ([]Access, error) {
+	g, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("hmccoal: unknown benchmark %q (have %v)", name, workloads.Names())
+	}
+	return g.Generate(p)
+}
+
+// DescribeBenchmark returns the one-line access-pattern summary of the
+// named benchmark.
+func DescribeBenchmark(name string) (string, error) {
+	g, ok := workloads.ByName(name)
+	if !ok {
+		return "", fmt.Errorf("hmccoal: unknown benchmark %q", name)
+	}
+	return g.Description(), nil
+}
+
+// AnalyzePayload runs the §5.3.2 payload-granularity coalescing study over
+// a trace with the paper's parameters.
+func AnalyzePayload(cfg Config, accs []Access) (PayloadAnalysis, error) {
+	return sim.AnalyzePayload(cfg.Hierarchy, accs, cfg.Coalescer.Width)
+}
+
+// TraceStats summarizes a trace (access counts, payload, footprint, span).
+type TraceStats = trace.Stats
+
+// SummarizeTrace computes TraceStats over a trace.
+func SummarizeTrace(accs []Access) TraceStats { return trace.Summarize(accs) }
+
+// MergeTraces interleaves traces by tick, preserving per-source order —
+// for combining independently generated or captured per-core streams.
+func MergeTraces(traces ...[]Access) []Access { return trace.Merge(traces...) }
+
+// ValidateTrace checks the invariants System.Run relies on and returns the
+// first violation.
+func ValidateTrace(accs []Access) error { return trace.Validate(accs) }
+
+// Access kinds for hand-built traces.
+const (
+	LoadAccess  = trace.Load
+	StoreAccess = trace.Store
+	FenceAccess = trace.FenceOp
+)

@@ -1,0 +1,154 @@
+// Package cache models the processor-side cache hierarchy in front of the
+// memory coalescer: per-core private L1 and L2 caches and a shared last
+// level cache (LLC). Every LLC miss — load miss, store miss or dirty
+// write-back — becomes a candidate request for the coalescer (paper §3.1).
+//
+// The model is a state-accurate tag/LRU simulation with fixed per-level hit
+// latencies. Miss *timing* is not resolved here: the hierarchy reports the
+// line-granular miss stream and the system simulator (internal/sim) charges
+// memory latency through the coalescer, MSHRs and HMC device.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes  uint64
+	Ways       int
+	LineBytes  uint32
+	HitLatency uint64 // cycles charged per access served at this level
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.LineBytes == 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache: ways %d must be positive", c.Ways)
+	case c.SizeBytes == 0 || c.SizeBytes%(uint64(c.LineBytes)*uint64(c.Ways)) != 0:
+		return fmt.Errorf("cache: size %d not divisible by way size", c.SizeBytes)
+	}
+	sets := c.SizeBytes / uint64(c.LineBytes) / uint64(c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Stats counts per-level activity.
+type Stats struct {
+	Accesses, Hits, Misses, WriteBacks uint64
+}
+
+// MissRate returns misses/accesses, or 0 for an idle cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one set-associative, write-back, write-allocate cache level with
+// LRU replacement. It is line-granular: callers present line numbers.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	clock uint64
+	stats Stats
+}
+
+// New builds a cache level.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	numSets := cfg.SizeBytes / uint64(cfg.LineBytes) / uint64(cfg.Ways)
+	c := &Cache{cfg: cfg, sets: make([][]line, numSets)}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c, nil
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Access touches lineNum (an absolute cache line number). write marks the
+// line dirty on hit or after fill. It returns whether the access hit and,
+// on a miss that evicted a dirty victim, the victim's line number.
+//
+// A miss installs the line immediately (the timing of the fill is the
+// simulator's concern), so a subsequent access to the same line hits.
+func (c *Cache) Access(lineNum uint64, write bool) (hit bool, writeBack *uint64) {
+	c.clock++
+	c.stats.Accesses++
+	set := c.sets[lineNum%uint64(len(c.sets))]
+	tag := lineNum / uint64(len(c.sets))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.stats.Hits++
+			set[i].lru = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			return true, nil
+		}
+	}
+	c.stats.Misses++
+	// Choose a victim: an invalid way, else the least recently used.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.stats.WriteBacks++
+		wb := set[victim].tag*uint64(len(c.sets)) + lineNum%uint64(len(c.sets))
+		writeBack = &wb
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	return false, writeBack
+}
+
+// Contains reports whether the line is present (no LRU update).
+func (c *Cache) Contains(lineNum uint64) bool {
+	set := c.sets[lineNum%uint64(len(c.sets))]
+	tag := lineNum / uint64(len(c.sets))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line, returning the dirty line numbers in
+// unspecified order.
+func (c *Cache) Flush() []uint64 {
+	var dirty []uint64
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if l.valid && l.dirty {
+				dirty = append(dirty, l.tag*uint64(len(c.sets))+uint64(s))
+			}
+			*l = line{}
+		}
+	}
+	return dirty
+}

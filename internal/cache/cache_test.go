@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func small(t *testing.T) *Cache {
+	// 4 sets × 2 ways × 64 B lines = 512 B.
+	return mustNew(t, Config{SizeBytes: 512, Ways: 2, LineBytes: 64, HitLatency: 1})
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 512, Ways: 2, LineBytes: 60},
+		{SizeBytes: 512, Ways: 0, LineBytes: 64},
+		{SizeBytes: 500, Ways: 2, LineBytes: 64},
+		{SizeBytes: 0, Ways: 2, LineBytes: 64},
+		{SizeBytes: 3 * 64 * 2, Ways: 2, LineBytes: 64}, // 3 sets
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: bad config %+v accepted", i, cfg)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small(t)
+	if hit, _ := c.Access(10, false); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _ := c.Access(10, false); !hit {
+		t.Error("second access missed")
+	}
+	s := c.Stats()
+	if s.Accesses != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small(t) // 4 sets, 2 ways — lines 0, 4, 8 share set 0
+	c.Access(0, false)
+	c.Access(4, false)
+	c.Access(0, false) // 0 becomes MRU
+	c.Access(8, false) // evicts 4 (LRU)
+	if !c.Contains(0) || !c.Contains(8) {
+		t.Error("expected lines 0 and 8 resident")
+	}
+	if c.Contains(4) {
+		t.Error("line 4 should have been evicted")
+	}
+}
+
+func TestDirtyEvictionProducesWriteBack(t *testing.T) {
+	c := small(t)
+	c.Access(0, true) // dirty
+	c.Access(4, false)
+	_, wb := c.Access(8, false) // evicts dirty line 0
+	if wb == nil || *wb != 0 {
+		t.Fatalf("writeback = %v, want line 0", wb)
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Errorf("WriteBacks = %d, want 1", c.Stats().WriteBacks)
+	}
+	// Clean eviction must not write back.
+	c2 := small(t)
+	c2.Access(0, false)
+	c2.Access(4, false)
+	if _, wb := c2.Access(8, false); wb != nil {
+		t.Errorf("clean eviction produced writeback %v", *wb)
+	}
+}
+
+func TestWriteHitSetsDirty(t *testing.T) {
+	c := small(t)
+	c.Access(0, false) // fill clean
+	c.Access(0, true)  // dirty it via hit
+	c.Access(4, false)
+	if _, wb := c.Access(8, false); wb == nil {
+		t.Error("dirtied-on-hit line evicted without writeback")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := small(t)
+	c.Access(0, true)
+	c.Access(1, false)
+	c.Access(5, true)
+	dirty := c.Flush()
+	if len(dirty) != 2 {
+		t.Fatalf("Flush returned %d dirty lines, want 2", len(dirty))
+	}
+	got := map[uint64]bool{}
+	for _, l := range dirty {
+		got[l] = true
+	}
+	if !got[0] || !got[5] {
+		t.Errorf("dirty lines = %v", dirty)
+	}
+	for _, l := range []uint64{0, 1, 5} {
+		if c.Contains(l) {
+			t.Errorf("line %d survived Flush", l)
+		}
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := small(t)
+	if c.Stats().MissRate() != 0 {
+		t.Error("idle cache MissRate != 0")
+	}
+	c.Access(0, false)
+	c.Access(0, false)
+	c.Access(0, false)
+	c.Access(0, false)
+	if got := c.Stats().MissRate(); got != 0.25 {
+		t.Errorf("MissRate = %v, want 0.25", got)
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 64 << 10, Ways: 8, LineBytes: 64, HitLatency: 1})
+	lines := uint64(64 << 10 / 64)
+	rng := rand.New(rand.NewSource(3))
+	for i := uint64(0); i < lines; i++ {
+		c.Access(i, false)
+	}
+	for i := 0; i < 10000; i++ {
+		ln := rng.Uint64() % lines
+		if hit, _ := c.Access(ln, false); !hit {
+			t.Fatalf("capacity miss on resident working set, line %d", ln)
+		}
+	}
+}
+
+func TestStreamingThrashes(t *testing.T) {
+	c := small(t)
+	for i := uint64(0); i < 1000; i++ {
+		c.Access(i, false)
+	}
+	if mr := c.Stats().MissRate(); mr < 0.9 {
+		t.Errorf("streaming over tiny cache has miss rate %v, want ≈1", mr)
+	}
+}

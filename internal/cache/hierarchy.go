@@ -1,0 +1,169 @@
+package cache
+
+import (
+	"fmt"
+
+	"hmccoal/internal/trace"
+)
+
+// Miss is one line-granular request leaving the LLC toward memory.
+type Miss struct {
+	// Line is the absolute cache line number (Addr / LineBytes).
+	Line uint64
+	// Addr is the byte address of the first useful byte within the line
+	// (the line base for write-backs).
+	Addr uint64
+	// Write is the request's T bit: store misses and write-backs are
+	// stores, load misses are loads (paper §3.4).
+	Write bool
+	// WriteBack marks dirty-eviction traffic (always Write=true).
+	WriteBack bool
+	// Payload is the number of useful bytes the core wanted from this
+	// line (the full line for write-backs). Drives Equation-1 accounting.
+	Payload uint32
+	// CPU is the core whose access triggered the miss.
+	CPU uint8
+}
+
+// HierarchyConfig describes the paper's three-level setup.
+type HierarchyConfig struct {
+	CPUs int
+	L1   Config // private, per core
+	L2   Config // private, per core
+	LLC  Config // shared
+}
+
+// DefaultHierarchyConfig returns the 12-CPU evaluation hierarchy: 32 KiB
+// 8-way L1, 256 KiB 8-way L2, 16 MiB 16-way shared LLC, 64 B lines.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		CPUs: 12,
+		L1:   Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, HitLatency: 4},
+		L2:   Config{SizeBytes: 256 << 10, Ways: 8, LineBytes: 64, HitLatency: 12},
+		LLC:  Config{SizeBytes: 16 << 20, Ways: 16, LineBytes: 64, HitLatency: 40},
+	}
+}
+
+// Hierarchy is the full cache stack shared by the simulated cores.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1  []*Cache
+	l2  []*Cache
+	llc *Cache
+}
+
+// NewHierarchy builds the stack. All levels must share one line size.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if cfg.CPUs <= 0 {
+		return nil, fmt.Errorf("cache: need at least one CPU")
+	}
+	if cfg.L1.LineBytes != cfg.LLC.LineBytes || cfg.L2.LineBytes != cfg.LLC.LineBytes {
+		return nil, fmt.Errorf("cache: mismatched line sizes %d/%d/%d",
+			cfg.L1.LineBytes, cfg.L2.LineBytes, cfg.LLC.LineBytes)
+	}
+	h := &Hierarchy{cfg: cfg}
+	for i := 0; i < cfg.CPUs; i++ {
+		l1, err := New(cfg.L1)
+		if err != nil {
+			return nil, fmt.Errorf("cache: L1: %w", err)
+		}
+		l2, err := New(cfg.L2)
+		if err != nil {
+			return nil, fmt.Errorf("cache: L2: %w", err)
+		}
+		h.l1 = append(h.l1, l1)
+		h.l2 = append(h.l2, l2)
+	}
+	llc, err := New(cfg.LLC)
+	if err != nil {
+		return nil, fmt.Errorf("cache: LLC: %w", err)
+	}
+	h.llc = llc
+	return h, nil
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// LineBytes returns the common cache line size.
+func (h *Hierarchy) LineBytes() uint32 { return h.cfg.LLC.LineBytes }
+
+// Access runs one core access through the stack. It returns the hit
+// latency accumulated walking the levels and the LLC-level misses the
+// access produced (fetch misses for each missing line the access touches,
+// plus any dirty write-backs evicted along the way).
+//
+// Accesses that span cache lines are split per line, as the load/store
+// unit would split them.
+func (h *Hierarchy) Access(a trace.Access) (latency uint64, misses []Miss) {
+	if a.Kind == trace.FenceOp {
+		return 0, nil
+	}
+	if int(a.CPU) >= h.cfg.CPUs {
+		panic(fmt.Sprintf("cache: access from CPU %d of %d", a.CPU, h.cfg.CPUs))
+	}
+	lineBytes := uint64(h.LineBytes())
+	first := a.Addr / lineBytes
+	last := (a.End() - 1) / lineBytes
+	write := a.Kind == trace.Store
+	for ln := first; ln <= last; ln++ {
+		// Useful bytes of this access that land in line ln.
+		lo, hi := ln*lineBytes, (ln+1)*lineBytes
+		if a.Addr > lo {
+			lo = a.Addr
+		}
+		if a.End() < hi {
+			hi = a.End()
+		}
+		payload := uint32(hi - lo)
+
+		latency += h.cfg.L1.HitLatency
+		if hit, _ := h.l1[a.CPU].Access(ln, write); hit {
+			continue
+		}
+		// L1 victims are clean toward L2 in this model (L2 is inclusive
+		// enough for the traffic shapes we simulate); only LLC-level dirty
+		// evictions generate memory traffic.
+		latency += h.cfg.L2.HitLatency
+		if hit, _ := h.l2[a.CPU].Access(ln, write); hit {
+			continue
+		}
+		latency += h.cfg.LLC.HitLatency
+		hit, wb := h.llc.Access(ln, write)
+		if hit {
+			continue
+		}
+		misses = append(misses, Miss{Line: ln, Addr: lo, Write: write, Payload: payload, CPU: a.CPU})
+		if wb != nil {
+			misses = append(misses, Miss{
+				Line:      *wb,
+				Addr:      *wb * lineBytes,
+				Write:     true,
+				WriteBack: true,
+				Payload:   h.LineBytes(),
+				CPU:       a.CPU,
+			})
+		}
+	}
+	return latency, misses
+}
+
+// LLCStats returns the shared LLC counters.
+func (h *Hierarchy) LLCStats() Stats { return h.llc.Stats() }
+
+// LevelStats aggregates the private levels across cores.
+func (h *Hierarchy) LevelStats() (l1, l2 Stats) {
+	for i := range h.l1 {
+		s := h.l1[i].Stats()
+		l1.Accesses += s.Accesses
+		l1.Hits += s.Hits
+		l1.Misses += s.Misses
+		l1.WriteBacks += s.WriteBacks
+		s = h.l2[i].Stats()
+		l2.Accesses += s.Accesses
+		l2.Hits += s.Hits
+		l2.Misses += s.Misses
+		l2.WriteBacks += s.WriteBacks
+	}
+	return l1, l2
+}

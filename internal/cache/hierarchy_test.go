@@ -1,0 +1,176 @@
+package cache
+
+import (
+	"testing"
+
+	"hmccoal/internal/trace"
+)
+
+func tinyHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	cfg := HierarchyConfig{
+		CPUs: 2,
+		L1:   Config{SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitLatency: 4},
+		L2:   Config{SizeBytes: 4 << 10, Ways: 4, LineBytes: 64, HitLatency: 12},
+		LLC:  Config{SizeBytes: 16 << 10, Ways: 4, LineBytes: 64, HitLatency: 40},
+	}
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.CPUs = 0
+	if _, err := NewHierarchy(cfg); err == nil {
+		t.Error("zero CPUs accepted")
+	}
+	cfg = DefaultHierarchyConfig()
+	cfg.L2.LineBytes = 128
+	if _, err := NewHierarchy(cfg); err == nil {
+		t.Error("mismatched line sizes accepted")
+	}
+}
+
+func TestColdAccessMissesToMemory(t *testing.T) {
+	h := tinyHierarchy(t)
+	lat, misses := h.Access(trace.Access{Addr: 0x1000, Size: 8, Kind: trace.Load, CPU: 0})
+	if len(misses) != 1 {
+		t.Fatalf("misses = %d, want 1", len(misses))
+	}
+	m := misses[0]
+	if m.Line != 0x1000/64 || m.Write || m.WriteBack || m.Payload != 8 || m.CPU != 0 {
+		t.Errorf("miss = %+v", m)
+	}
+	want := uint64(4 + 12 + 40)
+	if lat != want {
+		t.Errorf("latency = %d, want %d", lat, want)
+	}
+}
+
+func TestHitsAfterFill(t *testing.T) {
+	h := tinyHierarchy(t)
+	a := trace.Access{Addr: 0x2000, Size: 8, Kind: trace.Load, CPU: 1}
+	h.Access(a)
+	lat, misses := h.Access(a)
+	if len(misses) != 0 {
+		t.Fatalf("second access missed: %v", misses)
+	}
+	if lat != 4 {
+		t.Errorf("L1 hit latency = %d, want 4", lat)
+	}
+}
+
+func TestSharedLLCAcrossCores(t *testing.T) {
+	h := tinyHierarchy(t)
+	a := trace.Access{Addr: 0x3000, Size: 8, Kind: trace.Load, CPU: 0}
+	h.Access(a)
+	// Another core misses its private levels but hits the shared LLC:
+	// no memory traffic.
+	b := a
+	b.CPU = 1
+	lat, misses := h.Access(b)
+	if len(misses) != 0 {
+		t.Fatalf("cross-core access went to memory: %v", misses)
+	}
+	if lat != 4+12+40 {
+		t.Errorf("latency = %d, want LLC hit path", lat)
+	}
+}
+
+func TestLineSplitAccess(t *testing.T) {
+	h := tinyHierarchy(t)
+	// 16 B access starting 8 B before a line boundary touches two lines.
+	lat, misses := h.Access(trace.Access{Addr: 64*10 - 8, Size: 16, Kind: trace.Load, CPU: 0})
+	if len(misses) != 2 {
+		t.Fatalf("misses = %d, want 2", len(misses))
+	}
+	if misses[0].Line != 9 || misses[1].Line != 10 {
+		t.Errorf("miss lines = %d,%d want 9,10", misses[0].Line, misses[1].Line)
+	}
+	if misses[0].Payload != 8 || misses[1].Payload != 8 {
+		t.Errorf("payloads = %d,%d want 8,8", misses[0].Payload, misses[1].Payload)
+	}
+	if lat != 2*(4+12+40) {
+		t.Errorf("latency = %d", lat)
+	}
+}
+
+func TestStoreMissIsStoreRequest(t *testing.T) {
+	h := tinyHierarchy(t)
+	_, misses := h.Access(trace.Access{Addr: 0x4000, Size: 4, Kind: trace.Store, CPU: 0})
+	if len(misses) != 1 || !misses[0].Write || misses[0].WriteBack {
+		t.Fatalf("store miss = %+v", misses)
+	}
+}
+
+func TestDirtyLLCEvictionEmitsWriteBack(t *testing.T) {
+	h := tinyHierarchy(t)
+	llcLines := h.Config().LLC.SizeBytes / 64
+	// Dirty one line, then stream enough distinct lines through the same
+	// LLC set space to evict it.
+	h.Access(trace.Access{Addr: 0, Size: 8, Kind: trace.Store, CPU: 0})
+	var sawWB bool
+	for i := uint64(1); i <= llcLines*2; i++ {
+		_, misses := h.Access(trace.Access{Addr: i * 64, Size: 8, Kind: trace.Load, CPU: 0})
+		for _, m := range misses {
+			if m.WriteBack {
+				if !m.Write {
+					t.Fatal("writeback without Write bit")
+				}
+				if m.Payload != 64 {
+					t.Fatalf("writeback payload = %d, want full line", m.Payload)
+				}
+				if m.Line == 0 {
+					sawWB = true
+				}
+			}
+		}
+	}
+	if !sawWB {
+		t.Fatal("dirty line 0 never written back")
+	}
+}
+
+func TestFenceIsTransparentToCaches(t *testing.T) {
+	h := tinyHierarchy(t)
+	lat, misses := h.Access(trace.Access{Kind: trace.FenceOp, CPU: 0})
+	if lat != 0 || misses != nil {
+		t.Errorf("fence produced latency %d misses %v", lat, misses)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	h := tinyHierarchy(t)
+	for i := uint64(0); i < 100; i++ {
+		h.Access(trace.Access{Addr: i * 64, Size: 8, Kind: trace.Load, CPU: uint8(i % 2)})
+	}
+	l1, l2 := h.LevelStats()
+	if l1.Accesses != 100 {
+		t.Errorf("L1 accesses = %d, want 100", l1.Accesses)
+	}
+	if l2.Accesses != l1.Misses {
+		t.Errorf("L2 accesses %d != L1 misses %d", l2.Accesses, l1.Misses)
+	}
+	if llc := h.LLCStats(); llc.Accesses != l2.Misses {
+		t.Errorf("LLC accesses %d != L2 misses %d", llc.Accesses, l2.Misses)
+	}
+}
+
+func TestAccessPanicsOnBadCPU(t *testing.T) {
+	h := tinyHierarchy(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range CPU")
+		}
+	}()
+	h.Access(trace.Access{Addr: 0, Size: 4, Kind: trace.Load, CPU: 9})
+}
+
+func TestDefaultHierarchyConfigBuilds(t *testing.T) {
+	if _, err := NewHierarchy(DefaultHierarchyConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,395 @@
+// Package coalescer implements the paper's memory coalescer (§3): the unit
+// between the shared LLC and the MSHRs that batches LLC misses, sorts them
+// with a pipelined odd–even merge network, fuses adjacent requests into
+// large HMC packets (first-phase coalescing, the DMC unit), queues the
+// packets in the coalesced request queue (CRQ), and merges them against the
+// dynamic MSHRs (second-phase coalescing) before they reach memory.
+//
+// The coalescer is tick-driven and single-threaded: the system simulator
+// pushes LLC misses in non-decreasing tick order and the coalescer reports
+// memory requests through the Issue callback and data returns through the
+// Complete callback. All latency accounting (Figures 12–14) happens here.
+package coalescer
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hmccoal/internal/mshr"
+	"hmccoal/internal/sortnet"
+)
+
+// Config parameterizes the coalescer. The zero value is not valid; start
+// from DefaultConfig.
+type Config struct {
+	// Width is the sorting-network sequence width n (paper: 16).
+	Width int
+	// TimeoutCycles is how long a partially filled sequence may wait for
+	// more LLC requests before it is force-flushed into the sorter
+	// (paper §3.3; Figure 14 sweeps 16–28 cycles).
+	TimeoutCycles uint64
+	// Fold selects the sorting pipeline organization (§4.1).
+	Fold sortnet.Fold
+	// StepCycles is τ, the time per comparator step (default 4).
+	StepCycles uint64
+	// CompareCycles and MergeCycles price the DMC unit's operations
+	// (§5.3.3: both 2 cycles).
+	CompareCycles, MergeCycles uint64
+	// LineBytes is the cache line size (64 B).
+	LineBytes uint32
+	// BlockBytes is the maximum HMC packet and the boundary a packet may
+	// not cross (256 B).
+	BlockBytes uint32
+	// MSHR configures the dynamic MSHR file (16 entries in the paper; the
+	// CRQ is sized to match).
+	MSHR mshr.Config
+	// FirstPhase enables the sorting network + DMC unit. When false,
+	// requests flow directly to the MSHRs — the conventional MSHR-based
+	// coalescing baseline of Figure 8.
+	FirstPhase bool
+	// SecondPhase enables MSHR merging. When false every packet allocates
+	// fresh entries — the DMC-only series of Figure 8.
+	SecondPhase bool
+	// Bypass enables the §4.2 idle path: while the CRQ is empty, the input
+	// buffer is empty and MSHRs are free, raw requests skip the sorter and
+	// go straight to the MSHRs.
+	Bypass bool
+	// BypassRearmCycles is how long the memory system must stay fully idle
+	// before the stage select re-arms the bypass. §4.2 aims the bypass at
+	// program start and blocking calls (I/O, thread communication), not at
+	// sub-microsecond traffic valleys. 0 means the default (2048 cycles).
+	BypassRearmCycles uint64
+	// AdaptiveTimeout implements the paper's §5.3.3 conclusion that "it is
+	// ideal to equate the timeout with the average coalescing latency": the
+	// input-buffer timeout tracks an exponential moving average of the
+	// per-sequence coalescing cost (sorting + DMC), clamped to
+	// [TimeoutCycles/2, 4×TimeoutCycles]. TimeoutCycles seeds the average.
+	AdaptiveTimeout bool
+}
+
+// DefaultConfig returns the paper's evaluation configuration with both
+// phases enabled.
+func DefaultConfig() Config {
+	return Config{
+		Width:         16,
+		TimeoutCycles: 24,
+		Fold:          sortnet.PerStage,
+		StepCycles:    sortnet.DefaultStepCycles,
+		CompareCycles: 2,
+		MergeCycles:   2,
+		LineBytes:     64,
+		BlockBytes:    256,
+		MSHR:          mshr.DefaultConfig(),
+		FirstPhase:    true,
+		SecondPhase:   true,
+		Bypass:        true,
+	}
+}
+
+// BaselineConfig returns the conventional miss-handling architecture:
+// MSHR-based coalescing only, fixed 64 B requests (§2.1).
+func BaselineConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FirstPhase = false
+	return cfg
+}
+
+// Request is one line-granular LLC miss or write-back entering the
+// coalescer.
+type Request struct {
+	Line    uint64 // absolute cache line number
+	Write   bool
+	Payload uint32 // useful bytes wanted from the line
+	Token   uint64 // opaque completion token returned to the caller
+}
+
+// IssueFunc dispatches one memory request (an allocated MSHR entry) to the
+// HMC at the given tick and returns the tick its response completes.
+type IssueFunc func(tick uint64, e *mshr.Entry) uint64
+
+// CompleteFunc delivers a response: the entry's waiters identified by
+// their tokens, at the completion tick.
+type CompleteFunc func(tick uint64, subs []mshr.Sub)
+
+// Coalescer is the two-phase memory coalescer.
+type Coalescer struct {
+	cfg      Config
+	net      *sortnet.Network
+	pipe     *sortnet.Pipeline
+	file     *mshr.File
+	issue    IssueFunc
+	complete CompleteFunc
+
+	pending      []pendingReq // input buffer feeding the sorter
+	pendingSince uint64       // tick the oldest pending request arrived
+	sortFree     uint64       // next tick the sorter's first stage is free
+	curTimeout   uint64       // effective timeout (EWMA when adaptive)
+
+	crq         []packet
+	inflight    completionHeap
+	freedAt     uint64 // tick of the most recent MSHR entry release
+	lastIssue   uint64 // tick of the most recent memory dispatch
+	lastAdvance uint64 // latest tick Advance has processed
+	bypassOn    bool   // §4.2 stage-select state: idle bypass armed
+	idleSince   uint64 // first tick of the current full-idle span (^0 = busy)
+	fillStart   uint64 // start of the current CRQ fill episode
+	fillCount   int    // packets supplied in the current episode
+	stats       Stats
+	linesBlock  uint64 // lines per HMC block
+}
+
+// pendingReq is an input-buffer slot: the request plus its arrival tick,
+// needed for the per-request coalescer latency of Figure 14.
+type pendingReq struct {
+	Request
+	pushTick uint64
+}
+
+type packet struct {
+	baseLine uint64
+	lines    int
+	write    bool
+	targets  []mshr.Target
+	ready    uint64 // tick the packet entered the CRQ
+	blocked  bool   // a previous insert attempt found the file packed
+}
+
+// New builds a coalescer. issue and complete must be non-nil.
+func New(cfg Config, issue IssueFunc, complete CompleteFunc) (*Coalescer, error) {
+	if issue == nil || complete == nil {
+		return nil, fmt.Errorf("coalescer: nil callback")
+	}
+	if cfg.LineBytes == 0 || cfg.BlockBytes < cfg.LineBytes {
+		return nil, fmt.Errorf("coalescer: bad line/block sizes %d/%d", cfg.LineBytes, cfg.BlockBytes)
+	}
+	net, err := sortnet.New(cfg.Width)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := sortnet.NewPipeline(net, cfg.Fold, cfg.StepCycles)
+	if err != nil {
+		return nil, err
+	}
+	mcfg := cfg.MSHR
+	mcfg.LineBytes = cfg.LineBytes
+	mcfg.BlockBytes = cfg.BlockBytes
+	mcfg.DisableMerge = !cfg.SecondPhase
+	file, err := mshr.NewFile(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Coalescer{
+		cfg:        cfg,
+		net:        net,
+		pipe:       pipe,
+		file:       file,
+		issue:      issue,
+		complete:   complete,
+		linesBlock: uint64(cfg.BlockBytes / cfg.LineBytes),
+		curTimeout: cfg.TimeoutCycles,
+		bypassOn:   true,       // §4.2: the bypass is armed at boot
+		idleSince:  ^uint64(0), // not in an idle span until proven so
+	}, nil
+}
+
+// Timeout returns the effective input-buffer timeout: the configured value,
+// or the tracked average coalescing latency under AdaptiveTimeout.
+func (c *Coalescer) Timeout() uint64 { return c.curTimeout }
+
+// adaptTimeout folds one sequence's coalescing cost (sorting + DMC cycles)
+// into the adaptive timeout.
+func (c *Coalescer) adaptTimeout(cost uint64) {
+	if !c.cfg.AdaptiveTimeout {
+		return
+	}
+	// EWMA with 1/8 weight, clamped to a sane band around the seed.
+	next := (c.curTimeout*7 + cost) / 8
+	if lo := c.cfg.TimeoutCycles / 2; next < lo {
+		next = lo
+	}
+	if hi := c.cfg.TimeoutCycles * 4; next > hi {
+		next = hi
+	}
+	c.curTimeout = next
+}
+
+// Config returns the coalescer configuration.
+func (c *Coalescer) Config() Config { return c.cfg }
+
+// MSHRStats exposes the MSHR file counters.
+func (c *Coalescer) MSHRStats() mshr.Stats { return c.file.Stats() }
+
+// Outstanding reports how many memory requests are in flight.
+func (c *Coalescer) Outstanding() int { return len(c.inflight) }
+
+// QueueDepths reports the occupancy of the input buffer and the CRQ,
+// for diagnostics.
+func (c *Coalescer) QueueDepths() (pending, crq int) { return len(c.pending), len(c.crq) }
+
+// DebugState renders internal queue state for deadlock diagnostics.
+func (c *Coalescer) DebugState() string {
+	s := fmt.Sprintf("lastAdvance=%d freedAt=%d lastIssue=%d free=%d", c.lastAdvance, c.freedAt, c.lastIssue, c.file.Free())
+	if len(c.crq) > 0 {
+		p := c.crq[0]
+		s += fmt.Sprintf(" head{base=%d lines=%d write=%v ready=%d blocked=%v targets=%d}",
+			p.baseLine, p.lines, p.write, p.ready, p.blocked, len(p.targets))
+	}
+	return s
+}
+
+// Push presents one LLC request at the given tick. Ticks must be
+// non-decreasing across Push/Fence/Advance calls.
+func (c *Coalescer) Push(now uint64, r Request) {
+	c.Advance(now)
+	c.stats.Requests++
+	c.stats.PayloadBytes += uint64(r.Payload)
+
+	if !c.cfg.FirstPhase {
+		// Conventional MHA: the miss goes straight at the MSHRs.
+		c.enqueuePacket(now, packet{
+			baseLine: r.Line, lines: 1, write: r.Write,
+			targets: []mshr.Target{{Line: r.Line, Token: r.Token, Payload: r.Payload}},
+			ready:   now,
+		})
+		c.drainCRQ(now)
+		return
+	}
+
+	// §4.2 stage-select hysteresis: the bypass engages when the memory
+	// system has been idle for a while (program start, post-blocking-call)
+	// and disengages the moment the MSHR file packs; it re-arms only once
+	// the system drains and stays drained.
+	if c.file.Full() {
+		c.bypassOn = false
+		c.idleSince = ^uint64(0)
+	} else if len(c.crq) == 0 && len(c.pending) == 0 && len(c.inflight) == 0 {
+		if c.idleSince == ^uint64(0) {
+			c.idleSince = now
+		}
+		rearm := c.cfg.BypassRearmCycles
+		if rearm == 0 {
+			rearm = 2048
+		}
+		if now-c.idleSince >= rearm {
+			c.bypassOn = true
+		}
+	} else {
+		c.idleSince = ^uint64(0)
+	}
+	if c.cfg.Bypass && c.bypassOn && len(c.pending) == 0 && len(c.crq) == 0 && !c.file.Full() {
+		// Idle coalescer, free MSHRs — skip the sorter entirely.
+		c.stats.Bypassed++
+		c.enqueuePacket(now, packet{
+			baseLine: r.Line, lines: 1, write: r.Write,
+			targets: []mshr.Target{{Line: r.Line, Token: r.Token, Payload: r.Payload}},
+			ready:   now,
+		})
+		c.drainCRQ(now)
+		return
+	}
+
+	if len(c.pending) == 0 {
+		c.pendingSince = now
+	}
+	c.pending = append(c.pending, pendingReq{Request: r, pushTick: now})
+	if len(c.pending) >= c.cfg.Width {
+		c.flush(now)
+	}
+}
+
+// Fence signals a memory fence at the given tick: the pending sequence is
+// flushed immediately and the fence monopolizes one pipeline stage (§3.4).
+func (c *Coalescer) Fence(now uint64) {
+	c.Advance(now)
+	c.stats.Fences++
+	if len(c.pending) > 0 {
+		c.flush(now)
+	}
+	if c.cfg.FirstPhase {
+		if c.sortFree < now {
+			c.sortFree = now
+		}
+		c.sortFree += c.pipe.IntervalCycles()
+	}
+}
+
+// Advance processes time up to now: expires the input-buffer timeout and
+// delivers any memory responses due at or before now.
+func (c *Coalescer) Advance(now uint64) {
+	if now > c.lastAdvance {
+		c.lastAdvance = now
+	}
+	for len(c.inflight) > 0 && c.inflight[0].tick <= now {
+		c.completeOne()
+	}
+	if len(c.pending) > 0 && now >= c.pendingSince+c.curTimeout {
+		c.flush(c.pendingSince + c.curTimeout)
+		// A timeout flush may have freed the way for in-flight work.
+		for len(c.inflight) > 0 && c.inflight[0].tick <= now {
+			c.completeOne()
+		}
+	}
+	c.drainCRQ(now)
+}
+
+// NextEvent returns the earliest tick at which Advance will make further
+// progress — a pending-buffer timeout expiry, a packet becoming ready for
+// the CRQ, or a memory response — and whether any such event exists.
+// Simulators use it to advance time while a CPU is stalled. Events already
+// processed are excluded: a CRQ head that became ready in the past but is
+// blocked on a packed MSHR file only progresses at the next completion.
+func (c *Coalescer) NextEvent() (uint64, bool) {
+	next := ^uint64(0)
+	if len(c.pending) > 0 {
+		next = c.pendingSince + c.curTimeout
+	}
+	if len(c.inflight) > 0 && c.inflight[0].tick < next {
+		next = c.inflight[0].tick
+	}
+	if len(c.crq) > 0 && c.crq[0].ready > c.lastAdvance && c.crq[0].ready < next {
+		next = c.crq[0].ready
+	}
+	return next, next != ^uint64(0)
+}
+
+// Drain flushes all pending state and runs the clock forward until every
+// outstanding request has completed. It returns the tick at which the
+// memory system went idle.
+func (c *Coalescer) Drain(now uint64) uint64 {
+	c.Advance(now)
+	if len(c.pending) > 0 {
+		c.flush(now)
+	}
+	idle := now
+	for len(c.inflight) > 0 || len(c.crq) > 0 {
+		next := ^uint64(0)
+		if len(c.inflight) > 0 {
+			next = c.inflight[0].tick
+		}
+		if len(c.crq) > 0 && c.crq[0].ready > idle && c.crq[0].ready < next {
+			next = c.crq[0].ready
+		}
+		if next == ^uint64(0) {
+			// The CRQ head is ready but blocked with nothing in flight.
+			// A blocked head implies a full MSHR file, and every allocated
+			// entry is in flight — so this state indicates a bug.
+			panic("coalescer: CRQ stuck with no requests in flight")
+		}
+		if next > idle {
+			idle = next
+		}
+		if len(c.inflight) > 0 && c.inflight[0].tick <= idle {
+			c.completeOne()
+		}
+		c.drainCRQ(idle)
+	}
+	return idle
+}
+
+func (c *Coalescer) completeOne() {
+	item := heap.Pop(&c.inflight).(completion)
+	subs := c.file.Complete(item.entry)
+	c.freedAt = item.tick
+	c.complete(item.tick, subs)
+	c.drainCRQ(item.tick)
+}

@@ -1,0 +1,232 @@
+package coalescer
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hmccoal/internal/mshr"
+	"hmccoal/internal/trace"
+)
+
+// flush closes the pending input sequence and runs it through the sorting
+// pipeline and the DMC unit. now is the flush trigger tick (sequence full,
+// timeout expiry, or fence).
+func (c *Coalescer) flush(now uint64) {
+	batch := c.pending
+	c.pending = nil
+	m := len(batch)
+	if m == 0 {
+		return
+	}
+	c.stats.Batches++
+	c.stats.BatchRequests += uint64(m)
+	if m >= c.cfg.Width {
+		c.stats.FullFlushes++
+	} else {
+		c.stats.TimeoutFlushes++
+	}
+
+	// The sequence enters the sorter when its first stage is free; the
+	// pipelined network accepts a new sequence every initiation interval.
+	enter := now
+	if c.sortFree > enter {
+		enter = c.sortFree
+	}
+	c.sortFree = enter + c.pipe.IntervalCycles()
+
+	// Sort by the extended 54-bit key (§3.4): Type bit above the address
+	// separates loads from stores; invalid padding sinks to the tail.
+	keys := make([]uint64, c.cfg.Width)
+	for i, r := range batch {
+		kind := trace.Load
+		if r.Write {
+			kind = trace.Store
+		}
+		keys[i] = uint64(trace.MakeKey(r.Line, kind))
+	}
+	padded := make([]pendingReq, c.cfg.Width)
+	copy(padded, batch)
+	c.net.SortPrefix(keys, m, uint64(trace.InvalidKey()), func(i, j int) {
+		padded[i], padded[j] = padded[j], padded[i]
+	})
+	sorted := padded[:m]
+	sortedAt := enter + c.pipe.LatencyCycles(m)
+	c.stats.SortCycles += c.pipe.LatencyCycles(m)
+
+	// First-phase coalescing (§3.5): the DMC takes the smallest request as
+	// the base, compares it with the following requests in parallel
+	// (CompareCycles per group) and merges every identical/contiguous
+	// same-type request (MergeCycles each) until the packet would exceed
+	// the maximum HMC request or cross a block boundary.
+	var cost uint64
+	i := 0
+	for i < m {
+		base := sorted[i]
+		blockStart := base.Line / c.linesBlock * c.linesBlock
+		end := base.Line + 1
+		targets := []mshr.Target{{Line: base.Line, Token: base.Token, Payload: base.Payload}}
+		cost += c.cfg.CompareCycles
+		j := i + 1
+		for j < m && sorted[j].Write == base.Write {
+			ln := sorted[j].Line
+			if ln >= end {
+				extendable := ln == end &&
+					ln < blockStart+c.linesBlock &&
+					end-base.Line < uint64(mshr.MaxLines)
+				if !extendable {
+					break
+				}
+				end = ln + 1
+			}
+			cost += c.cfg.MergeCycles
+			c.stats.FirstPhaseMerges++
+			targets = append(targets, mshr.Target{Line: ln, Token: sorted[j].Token, Payload: sorted[j].Payload})
+			j++
+		}
+		ready := sortedAt + cost
+		for _, chunk := range splitPacket(base.Line, int(end-base.Line)) {
+			pkt := packet{baseLine: chunk.base, lines: chunk.len, write: base.Write, ready: ready}
+			for _, t := range targets {
+				if t.Line >= chunk.base && t.Line < chunk.base+uint64(chunk.len) {
+					pkt.targets = append(pkt.targets, t)
+				}
+			}
+			c.enqueuePacket(ready, pkt)
+		}
+		i = j
+	}
+	c.stats.DMCCycles += cost
+	c.adaptTimeout(c.pipe.LatencyCycles(m) + cost)
+
+	// Per-request coalescer latency (Figure 14): input-buffer wait plus
+	// sorting plus DMC processing, ending when the packet reaches the CRQ.
+	done := sortedAt + cost
+	for _, r := range batch {
+		c.stats.RequestLatency += done - r.pushTick
+	}
+	c.stats.LatencySamples += uint64(m)
+
+	c.drainCRQ(now)
+}
+
+type chunk struct {
+	base uint64
+	len  int
+}
+
+// splitPacket breaks a contiguous line run into legal HMC packet sizes
+// (4, 2 or 1 cache lines → 256/128/64 B).
+func splitPacket(base uint64, length int) []chunk {
+	var out []chunk
+	for length > 0 {
+		size := 1
+		switch {
+		case length >= 4:
+			size = 4
+		case length >= 2:
+			size = 2
+		}
+		out = append(out, chunk{base: base, len: size})
+		base += uint64(size)
+		length -= size
+	}
+	return out
+}
+
+// enqueuePacket appends a packet to the CRQ and maintains the fill-episode
+// accounting behind Figure 13: an episode measures how long the coalescer
+// takes to supply one CRQ's worth of packets (capacity = number of MSHRs).
+// Better coalescing means fewer packets per batch and therefore a longer
+// fill time — the FT effect discussed in §5.3.3.
+func (c *Coalescer) enqueuePacket(now uint64, p packet) {
+	if c.fillCount == 0 {
+		c.fillStart = now
+	}
+	c.crq = append(c.crq, p)
+	c.stats.Packets++
+	if len(c.crq) > c.stats.CRQPeak {
+		c.stats.CRQPeak = len(c.crq)
+	}
+	c.fillCount++
+	if c.fillCount >= c.cfg.MSHR.Entries {
+		c.stats.CRQFillCycles += now - c.fillStart
+		c.stats.CRQFills++
+		c.fillCount = 0
+	}
+}
+
+// drainCRQ advances the CRQ head into the MSHRs: second-phase coalescing,
+// entry allocation and memory dispatch. now is the current event tick.
+func (c *Coalescer) drainCRQ(now uint64) {
+	for len(c.crq) > 0 {
+		p := &c.crq[0]
+		if p.ready > now {
+			return
+		}
+		// The insert happens as soon as both the packet and the MSHR state
+		// allow: not before the packet was ready, not before the entry
+		// release it was blocked on, and never out of FIFO order.
+		t := p.ready
+		if p.blocked && c.freedAt > t {
+			t = c.freedAt
+		}
+		if c.lastIssue > t {
+			t = c.lastIssue
+		}
+		minLine, maxLine := p.targets[0].Line, p.targets[0].Line
+		for _, tg := range p.targets[1:] {
+			if tg.Line < minLine {
+				minLine = tg.Line
+			}
+			if tg.Line > maxLine {
+				maxLine = tg.Line
+			}
+		}
+		out, err := c.file.Insert(minLine, int(maxLine-minLine)+1, p.write, p.targets)
+		if err != nil {
+			panic("coalescer: CRQ packet rejected by MSHR file: " + err.Error())
+		}
+		issuedSubs := 0
+		for _, e := range out.Issued {
+			issuedSubs += len(e.Subs())
+		}
+		if out.MergedTargets+issuedSubs+len(out.Unplaced) != len(p.targets) {
+			panic(fmt.Sprintf("coalescer: target conservation broken: %d targets -> %d merged + %d issued + %d unplaced",
+				len(p.targets), out.MergedTargets, issuedSubs, len(out.Unplaced)))
+		}
+		for _, e := range out.Issued {
+			c.stats.HMCRequests++
+			done := c.issue(t, e)
+			heap.Push(&c.inflight, completion{tick: done, entry: e})
+		}
+		c.lastIssue = t
+		if len(out.Unplaced) > 0 {
+			// Head blocks in FIFO order until an entry frees; the already
+			// placed waiters must not be retried.
+			p.targets = out.Unplaced
+			p.blocked = true
+			return
+		}
+		c.crq = c.crq[1:]
+	}
+}
+
+// completion pairs an outstanding MSHR entry with its response tick.
+type completion struct {
+	tick  uint64
+	entry *mshr.Entry
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].tick < h[j].tick }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,355 @@
+package hmc
+
+import "fmt"
+
+// Config describes the simulated device geometry and timing. All timing
+// parameters are in core clock cycles (3.3 GHz in the paper's setup).
+type Config struct {
+	// CapacityBytes is the total device capacity (paper: 8 GB).
+	CapacityBytes uint64
+	// Vaults is the number of independent vaults (HMC 2.1: 32).
+	Vaults int
+	// BanksPerVault is the number of DRAM banks per vault (HMC 2.1: 16).
+	BanksPerVault int
+	// BlockBytes is the vault interleave granularity and the maximum
+	// request size (paper: 256 B-block addressing).
+	BlockBytes uint32
+	// RowBytes is the DRAM row (page) size within a bank.
+	RowBytes uint32
+	// Links is the number of full-duplex serial links (HMC 2.1: 4).
+	Links int
+
+	// TActivate, TColumn, TPrecharge are the DRAM row activate, column
+	// access and precharge times.
+	TActivate, TColumn, TPrecharge uint64
+	// TBurstPerFlit is the vault-internal (TSV) transfer time per data FLIT.
+	TBurstPerFlit uint64
+	// TFlit is the link serialization time per FLIT.
+	TFlit uint64
+	// TSerDes is the fixed one-way link latency (serialization/deserialization).
+	TSerDes uint64
+
+	// OpenPage keeps DRAM rows open between accesses instead of the HMC's
+	// closed-page policy (§2.2.1). With it, back-to-back requests to the
+	// same row skip the activate; a row conflict pays precharge + activate.
+	// Provided as an ablation of the paper's closed-page assumption.
+	OpenPage bool
+
+	// LinkTokens models the HMC's token-based link-level flow control: at
+	// most this many transactions may be outstanding per link; a request
+	// arriving with no token waits for one to return. 0 disables the limit
+	// (the paper's evaluation never saturates it).
+	LinkTokens int
+}
+
+// DefaultConfig returns the 8 GB HMC 2.1-like configuration used by the
+// paper's evaluation, with timing at a 3.3 GHz core clock.
+func DefaultConfig() Config {
+	return Config{
+		CapacityBytes: 8 << 30,
+		Vaults:        32,
+		BanksPerVault: 16,
+		BlockBytes:    256,
+		RowBytes:      2048,
+		Links:         4,
+		TActivate:     45, // ≈13.6 ns
+		TColumn:       45, // ≈13.6 ns
+		TPrecharge:    45, // ≈13.6 ns
+		TBurstPerFlit: 5,  // ≈1.5 ns per 16 B over the TSVs
+		TFlit:         1,  // ≈0.3 ns per 16 B per link (≈53 GB/s/link)
+		TSerDes:       12, // ≈3.6 ns each way
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.CapacityBytes == 0:
+		return fmt.Errorf("hmc: zero capacity")
+	case c.Vaults <= 0 || c.BanksPerVault <= 0 || c.Links <= 0:
+		return fmt.Errorf("hmc: non-positive geometry %+v", c)
+	case c.BlockBytes == 0 || c.BlockBytes&(c.BlockBytes-1) != 0:
+		return fmt.Errorf("hmc: block size %d not a power of two", c.BlockBytes)
+	case c.RowBytes < c.BlockBytes:
+		return fmt.Errorf("hmc: row size %d below block size %d", c.RowBytes, c.BlockBytes)
+	}
+	return nil
+}
+
+// Request is one packetized HMC transaction.
+type Request struct {
+	// Addr is the physical byte address of the first byte.
+	Addr uint64
+	// PacketBytes is the FLIT-aligned packet payload size (16–256 B).
+	PacketBytes uint32
+	// RequestedBytes is the useful data inside the packet — the sum of the
+	// original payload sizes that were coalesced into it. It never exceeds
+	// PacketBytes and drives the Equation-1 bandwidth-efficiency stats.
+	RequestedBytes uint32
+	// Write distinguishes WR from RD packets.
+	Write bool
+}
+
+// Device is the simulated HMC. It is not safe for concurrent use; the
+// simulator owns it from a single goroutine.
+type Device struct {
+	cfg   Config
+	banks [][]bankState // [vault][bank]
+	links []duplex      // per-link ingress/egress busy-until
+	next  int           // round-robin link cursor
+	stats Stats
+}
+
+type bankState struct {
+	busyUntil uint64
+	openRow   uint64
+	rowValid  bool
+}
+
+type duplex struct {
+	in, out uint64
+	// tokens holds, when flow control is enabled, the release time of each
+	// link token (the completion tick of the transaction holding it).
+	tokens []uint64
+}
+
+// NewDevice builds a Device from a fully specified cfg. Start from
+// DefaultConfig and adjust fields as needed.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{cfg: cfg}
+	d.banks = make([][]bankState, cfg.Vaults)
+	for v := range d.banks {
+		d.banks[v] = make([]bankState, cfg.BanksPerVault)
+	}
+	d.links = make([]duplex, cfg.Links)
+	if cfg.LinkTokens > 0 {
+		for i := range d.links {
+			d.links[i].tokens = make([]uint64, cfg.LinkTokens)
+		}
+	}
+	d.stats.SizeHist = make(map[uint32]uint64)
+	d.stats.VaultRequests = make([]uint64, cfg.Vaults)
+	return d, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// vaultOf maps an address to its vault by low-order block interleaving.
+func (d *Device) vaultOf(addr uint64) int {
+	return int(addr / uint64(d.cfg.BlockBytes) % uint64(d.cfg.Vaults))
+}
+
+// bankOf maps an address to a bank within its vault.
+func (d *Device) bankOf(addr uint64) int {
+	return int(addr / uint64(d.cfg.BlockBytes) / uint64(d.cfg.Vaults) % uint64(d.cfg.BanksPerVault))
+}
+
+// rowOf maps an address to its DRAM row within the bank.
+func (d *Device) rowOf(addr uint64) uint64 {
+	bankOffset := addr / uint64(d.cfg.BlockBytes) / uint64(d.cfg.Vaults) / uint64(d.cfg.BanksPerVault)
+	return bankOffset / uint64(d.cfg.RowBytes/d.cfg.BlockBytes)
+}
+
+// Submit presents a request to the device at the given arrival tick and
+// returns the tick at which the response has been fully received by the
+// host. Requests must respect the packet interface: FLIT-aligned payload in
+// [16, BlockBytes] that does not cross a block boundary.
+//
+// The model is busy-until based: each bank and each link direction is a
+// resource with a scalar horizon. Closed-page policy: every request pays
+// activate + column + burst and leaves the bank busy through precharge, so
+// k small requests to one block cost k row activations where one coalesced
+// request costs one — the effect motivating the paper.
+func (d *Device) Submit(tick uint64, req Request) (uint64, error) {
+	c := &d.cfg
+	if req.PacketBytes < MinRequestBytes || req.PacketBytes > c.BlockBytes {
+		return 0, fmt.Errorf("hmc: packet size %d outside [%d,%d]", req.PacketBytes, MinRequestBytes, c.BlockBytes)
+	}
+	if req.PacketBytes%FlitBytes != 0 {
+		return 0, fmt.Errorf("hmc: packet size %d not FLIT aligned", req.PacketBytes)
+	}
+	if req.Addr/uint64(c.BlockBytes) != (req.Addr+uint64(req.PacketBytes)-1)/uint64(c.BlockBytes) {
+		return 0, fmt.Errorf("hmc: request %#x+%d crosses a %d B block boundary", req.Addr, req.PacketBytes, c.BlockBytes)
+	}
+	if req.RequestedBytes > req.PacketBytes {
+		return 0, fmt.Errorf("hmc: requested bytes %d exceed packet %d", req.RequestedBytes, req.PacketBytes)
+	}
+	addr := req.Addr % c.CapacityBytes
+
+	// Link ingress: serialize the request packet on the next link. With
+	// flow control enabled, first wait for a link token.
+	link := &d.links[d.next]
+	d.next = (d.next + 1) % len(d.links)
+	tokenSlot := -1
+	arrive := tick
+	if len(link.tokens) > 0 {
+		tokenSlot = 0
+		for i, rel := range link.tokens {
+			if rel < link.tokens[tokenSlot] {
+				tokenSlot = i
+			}
+		}
+		if link.tokens[tokenSlot] > arrive {
+			d.stats.TokenWait += link.tokens[tokenSlot] - arrive
+			arrive = link.tokens[tokenSlot]
+		}
+	}
+	reqFlits := uint64(RequestFlits(req.Write, req.PacketBytes))
+	inStart := max64(arrive, link.in)
+	link.in = inStart + reqFlits*c.TFlit
+	atVault := link.in + c.TSerDes
+
+	// Bank service. Closed page (the HMC default): every request pays
+	// activate + column + burst and busies the bank through precharge.
+	// Open page (ablation): a row hit pays column + burst only; a row miss
+	// pays precharge + activate + column + burst.
+	v, b := d.vaultOf(addr), d.bankOf(addr)
+	bank := &d.banks[v][b]
+	start := max64(atVault, bank.busyUntil)
+	if bank.busyUntil > atVault {
+		d.stats.BankConflicts++
+		d.stats.ConflictWait += bank.busyUntil - atVault
+	}
+	burst := uint64(DataFlits(req.PacketBytes)) * c.TBurstPerFlit
+	var dataReady uint64
+	if c.OpenPage {
+		row := d.rowOf(addr)
+		switch {
+		case bank.rowValid && bank.openRow == row:
+			d.stats.RowHits++
+			dataReady = start + c.TColumn + burst
+		case bank.rowValid:
+			d.stats.RowActivations++
+			dataReady = start + c.TPrecharge + c.TActivate + c.TColumn + burst
+		default:
+			d.stats.RowActivations++
+			dataReady = start + c.TActivate + c.TColumn + burst
+		}
+		bank.openRow, bank.rowValid = row, true
+		bank.busyUntil = dataReady
+	} else {
+		d.stats.RowActivations++
+		dataReady = start + c.TActivate + c.TColumn + burst
+		bank.busyUntil = dataReady + c.TPrecharge
+	}
+
+	// Link egress: serialize the response packet back to the host.
+	respFlits := uint64(ResponseFlits(req.Write, req.PacketBytes))
+	outStart := max64(dataReady, link.out)
+	link.out = outStart + respFlits*c.TFlit
+	done := link.out + c.TSerDes
+	if tokenSlot >= 0 {
+		link.tokens[tokenSlot] = done // token returns with the response
+	}
+
+	// Accounting.
+	d.stats.VaultRequests[v]++
+	d.stats.Requests++
+	if req.Write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	d.stats.SizeHist[req.PacketBytes]++
+	d.stats.PacketBytes += uint64(req.PacketBytes)
+	d.stats.RequestedBytes += uint64(req.RequestedBytes)
+	d.stats.TransferredBytes += (reqFlits + respFlits) * FlitBytes
+	if done > d.stats.LastDone {
+		d.stats.LastDone = done
+	}
+	return done, nil
+}
+
+// Stats returns a copy of the accumulated device statistics.
+func (d *Device) Stats() Stats {
+	s := d.stats
+	s.SizeHist = make(map[uint32]uint64, len(d.stats.SizeHist))
+	for k, v := range d.stats.SizeHist {
+		s.SizeHist[k] = v
+	}
+	s.VaultRequests = append([]uint64(nil), d.stats.VaultRequests...)
+	return s
+}
+
+// Reset clears the device state and statistics.
+func (d *Device) Reset() {
+	for v := range d.banks {
+		for b := range d.banks[v] {
+			d.banks[v][b] = bankState{}
+		}
+	}
+	for i := range d.links {
+		d.links[i] = duplex{}
+		if d.cfg.LinkTokens > 0 {
+			d.links[i].tokens = make([]uint64, d.cfg.LinkTokens)
+		}
+	}
+	d.next = 0
+	d.stats = Stats{
+		SizeHist:      make(map[uint32]uint64),
+		VaultRequests: make([]uint64, d.cfg.Vaults),
+	}
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	Requests, Reads, Writes uint64
+	// SizeHist counts requests per packet payload size.
+	SizeHist map[uint32]uint64
+	// PacketBytes is the total FLIT-aligned payload moved.
+	PacketBytes uint64
+	// RequestedBytes is the total useful data inside those payloads.
+	RequestedBytes uint64
+	// TransferredBytes is everything on the links: payload + control FLITs.
+	TransferredBytes uint64
+	RowActivations   uint64
+	RowHits          uint64 // open-page mode only
+	// VaultRequests counts requests routed to each vault; skew here means
+	// the address stream is not spreading over the device's parallelism.
+	VaultRequests []uint64
+	BankConflicts uint64
+	ConflictWait  uint64 // cycles lost to busy banks
+	TokenWait     uint64 // cycles spent waiting for link flow-control tokens
+	LastDone      uint64 // completion tick of the latest response
+}
+
+// BandwidthEfficiency is Equation 1 over the whole run: useful requested
+// data divided by everything transferred (payload + control).
+func (s Stats) BandwidthEfficiency() float64 {
+	if s.TransferredBytes == 0 {
+		return 0
+	}
+	return float64(s.RequestedBytes) / float64(s.TransferredBytes)
+}
+
+// ControlBytes returns the total control overhead moved on the links.
+func (s Stats) ControlBytes() uint64 {
+	return s.TransferredBytes - s.PacketBytes
+}
+
+// VaultImbalance measures how unevenly traffic spreads over the vaults:
+// max per-vault share divided by the uniform share (1.0 = perfectly even,
+// Vaults = everything in one vault).
+func (s Stats) VaultImbalance() float64 {
+	if s.Requests == 0 || len(s.VaultRequests) == 0 {
+		return 0
+	}
+	var max uint64
+	for _, v := range s.VaultRequests {
+		if v > max {
+			max = v
+		}
+	}
+	uniform := float64(s.Requests) / float64(len(s.VaultRequests))
+	return float64(max) / uniform
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package hmc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDataFlits(t *testing.T) {
+	cases := []struct {
+		payload uint32
+		want    int
+	}{
+		{0, 0}, {1, 1}, {4, 1}, {16, 1}, {17, 2}, {32, 2}, {64, 4}, {128, 8}, {256, 16},
+	}
+	for _, c := range cases {
+		if got := DataFlits(c.payload); got != c.want {
+			t.Errorf("DataFlits(%d) = %d, want %d", c.payload, got, c.want)
+		}
+	}
+}
+
+func TestPacketFlitCounts(t *testing.T) {
+	// §2.2: a read request is a single control FLIT; its response is
+	// control + data. Writes mirror that.
+	if got := RequestFlits(false, 256); got != 1 {
+		t.Errorf("read request = %d FLITs, want 1", got)
+	}
+	if got := ResponseFlits(false, 256); got != 17 {
+		t.Errorf("256B read response = %d FLITs, want 17", got)
+	}
+	if got := RequestFlits(true, 256); got != 17 {
+		t.Errorf("256B write request = %d FLITs, want 17", got)
+	}
+	if got := ResponseFlits(true, 256); got != 1 {
+		t.Errorf("write response = %d FLITs, want 1", got)
+	}
+}
+
+func TestTransactionBytesPaperExample(t *testing.T) {
+	// §2.2.2: sixteen 16 B loads move 768 B total (512 B control);
+	// one 256 B load moves 288 B (32 B control).
+	var total uint64
+	for i := 0; i < 16; i++ {
+		total += TransactionBytes(false, 16)
+	}
+	if total != 768 {
+		t.Errorf("16×16B loads move %d B, want 768", total)
+	}
+	if got := TransactionBytes(false, 256); got != 288 {
+		t.Errorf("256B load moves %d B, want 288", got)
+	}
+}
+
+func TestTransactionBytesDirectionInvariant(t *testing.T) {
+	f := func(raw uint32) bool {
+		payload := raw%16 + 1
+		payload *= 16 // FLIT-aligned 16..256
+		return TransactionBytes(true, payload) == TransactionBytes(false, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandwidthEfficiencyFigure1(t *testing.T) {
+	// Figure 1 endpoints: 33.33% at 16 B rising to 88.89% at 256 B, with
+	// control overhead falling 66.67% → 11.11%.
+	cases := []struct {
+		size     uint32
+		eff, ctl float64
+	}{
+		{16, 1.0 / 3, 2.0 / 3},
+		{32, 0.5, 0.5},
+		{64, 2.0 / 3, 1.0 / 3},
+		{128, 0.8, 0.2},
+		{256, 8.0 / 9, 1.0 / 9},
+	}
+	for _, c := range cases {
+		if got := BandwidthEfficiency(c.size); math.Abs(got-c.eff) > 1e-9 {
+			t.Errorf("BandwidthEfficiency(%d) = %.4f, want %.4f", c.size, got, c.eff)
+		}
+		if got := ControlOverheadFraction(c.size); math.Abs(got-c.ctl) > 1e-9 {
+			t.Errorf("ControlOverheadFraction(%d) = %.4f, want %.4f", c.size, got, c.ctl)
+		}
+	}
+	// The two Figure 1 series sum to 1 for exact-fit payloads.
+	for _, size := range []uint32{16, 32, 48, 64, 128, 240, 256} {
+		sum := BandwidthEfficiency(size) + ControlOverheadFraction(size)
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("series at %d B sum to %.4f, want 1", size, sum)
+		}
+	}
+}
+
+func TestCoalescingImprovementHeadline(t *testing.T) {
+	// §2.2.2: 2.67× bandwidth-efficiency improvement and 15× control
+	// reduction going from 16×16 B to 1×256 B.
+	gain := BandwidthEfficiency(256) / BandwidthEfficiency(16)
+	if math.Abs(gain-8.0/3) > 1e-9 {
+		t.Errorf("efficiency gain = %.3f, want 2.667", gain)
+	}
+	ctlSmall := ControlBytesForVolume(256, 16)
+	ctlBig := ControlBytesForVolume(256, 256)
+	if ctlSmall/ctlBig != 16 {
+		t.Errorf("control reduction = %d×, want 16 (512 B → 32 B)", ctlSmall/ctlBig)
+	}
+	if ctlSmall-ctlBig != 480 {
+		t.Errorf("control saved = %d B, want 480", ctlSmall-ctlBig)
+	}
+}
+
+func TestControlBytesForVolumeFigure2(t *testing.T) {
+	// Figure 2: for a fixed data volume, control traffic scales inversely
+	// with request size.
+	const volume = 1 << 20
+	prev := uint64(math.MaxUint64)
+	for _, size := range []uint32{16, 32, 64, 128, 256} {
+		got := ControlBytesForVolume(volume, size)
+		want := uint64(volume/uint64(size)) * ControlBytes
+		if got != want {
+			t.Errorf("ControlBytesForVolume(1MiB, %d) = %d, want %d", size, got, want)
+		}
+		if got >= prev {
+			t.Errorf("control bytes not decreasing at size %d", size)
+		}
+		prev = got
+	}
+	if got := ControlBytesForVolume(100, 64); got != 2*ControlBytes {
+		t.Errorf("partial packet rounding: got %d, want %d", got, 2*ControlBytes)
+	}
+	if got := ControlBytesForVolume(100, 0); got != 0 {
+		t.Errorf("zero request size: got %d, want 0", got)
+	}
+}
+
+func TestBandwidthEfficiencyZero(t *testing.T) {
+	if got := BandwidthEfficiency(0); got != 0 {
+		t.Errorf("BandwidthEfficiency(0) = %v, want 0", got)
+	}
+}
+
+func TestBandwidthEfficiencyMonotone(t *testing.T) {
+	prev := 0.0
+	for size := uint32(16); size <= 256; size += 16 {
+		got := BandwidthEfficiency(size)
+		if got <= prev {
+			t.Errorf("efficiency not increasing at %d B", size)
+		}
+		prev = got
+	}
+}

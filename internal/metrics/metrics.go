@@ -1,0 +1,150 @@
+// Package metrics renders the reproduction's figure data: analytic series
+// (Figures 1–2), per-benchmark result tables (Figures 8–15) and plain-text
+// table formatting shared by the CLI, the examples and EXPERIMENTS.md.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"hmccoal/internal/hmc"
+)
+
+// Figure1Row is one point of the bandwidth-efficiency motivation figure.
+type Figure1Row struct {
+	RequestBytes    uint32
+	Efficiency      float64 // requested/transferred (Equation 1)
+	ControlOverhead float64 // control/transferred
+}
+
+// Figure1 evaluates Equation 1 at the HMC 2.1 packet sizes.
+func Figure1() []Figure1Row {
+	var rows []Figure1Row
+	for size := uint32(16); size <= 256; size *= 2 {
+		rows = append(rows, Figure1Row{
+			RequestBytes:    size,
+			Efficiency:      hmc.BandwidthEfficiency(size),
+			ControlOverhead: hmc.ControlOverheadFraction(size),
+		})
+	}
+	return rows
+}
+
+// Figure2Row is one point of the control-overhead figure: the control bytes
+// needed to move TotalBytes of data with fixed-size requests.
+type Figure2Row struct {
+	TotalBytes   uint64
+	RequestBytes uint32
+	ControlBytes uint64
+}
+
+// Figure2 tabulates control traffic for a sweep of data volumes and request
+// sizes.
+func Figure2(volumes []uint64) []Figure2Row {
+	if len(volumes) == 0 {
+		volumes = []uint64{1 << 20, 16 << 20, 256 << 20, 1 << 30}
+	}
+	var rows []Figure2Row
+	for _, v := range volumes {
+		for size := uint32(16); size <= 256; size *= 2 {
+			rows = append(rows, Figure2Row{
+				TotalBytes:   v,
+				RequestBytes: size,
+				ControlBytes: hmc.ControlBytesForVolume(v, size),
+			})
+		}
+	}
+	return rows
+}
+
+// Table renders rows as an aligned plain-text table. The first row is the
+// header.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	var widths []int
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for r, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if r == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with two decimals.
+func Pct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// GB formats bytes as decimal gigabytes.
+func GB(b int64) string { return fmt.Sprintf("%.2f GB", float64(b)/1e9) }
+
+// MB formats bytes as decimal megabytes.
+func MB(b int64) string { return fmt.Sprintf("%.2f MB", float64(b)/1e6) }
+
+// Ns formats a nanosecond quantity.
+func Ns(ns float64) string { return fmt.Sprintf("%.2f ns", ns) }
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Bars renders labeled values as a horizontal ASCII bar chart, scaled so
+// the largest value spans `width` characters.
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 50
+	}
+	maxVal, maxLabel := 0.0, 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if maxVal > 0 && v > 0 {
+			n = int(v / maxVal * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s %8.2f %s\n", maxLabel, labels[i], v, strings.Repeat("#", n))
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFigure1Endpoints(t *testing.T) {
+	rows := Figure1()
+	if len(rows) != 5 {
+		t.Fatalf("Figure1 has %d rows, want 5", len(rows))
+	}
+	if rows[0].RequestBytes != 16 || rows[len(rows)-1].RequestBytes != 256 {
+		t.Fatalf("size range = %d..%d", rows[0].RequestBytes, rows[len(rows)-1].RequestBytes)
+	}
+	if math.Abs(rows[0].Efficiency-1.0/3) > 1e-9 {
+		t.Errorf("16B efficiency = %v", rows[0].Efficiency)
+	}
+	if math.Abs(rows[4].Efficiency-8.0/9) > 1e-9 {
+		t.Errorf("256B efficiency = %v", rows[4].Efficiency)
+	}
+	for _, r := range rows {
+		if math.Abs(r.Efficiency+r.ControlOverhead-1) > 1e-9 {
+			t.Errorf("row %dB: series don't sum to 1", r.RequestBytes)
+		}
+	}
+}
+
+func TestFigure2DefaultsAndCustomVolumes(t *testing.T) {
+	def := Figure2(nil)
+	if len(def) != 4*5 {
+		t.Fatalf("default Figure2 rows = %d, want 20", len(def))
+	}
+	custom := Figure2([]uint64{1 << 20})
+	if len(custom) != 5 {
+		t.Fatalf("custom Figure2 rows = %d, want 5", len(custom))
+	}
+	// Halving the request size doubles the control bytes.
+	for i := 1; i < len(custom); i++ {
+		if custom[i-1].ControlBytes != 2*custom[i].ControlBytes {
+			t.Errorf("control not doubling: %d then %d",
+				custom[i-1].ControlBytes, custom[i].ControlBytes)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([][]string{
+		{"name", "value"},
+		{"a", "1"},
+		{"longer", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("missing header rule: %q", lines[1])
+	}
+	// All rows align to the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("rule width %d != header width %d", len(lines[1]), len(lines[0]))
+	}
+	if Table(nil) != "" {
+		t.Error("empty table not empty")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	// Rows wider than the header must not panic.
+	out := Table([][]string{{"a"}, {"b", "extra"}})
+	if !strings.Contains(out, "extra") {
+		t.Errorf("ragged cell lost: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.12345); got != "12.35%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := GB(2_500_000_000); got != "2.50 GB" {
+		t.Errorf("GB = %q", got)
+	}
+	if got := MB(1_500_000); got != "1.50 MB" {
+		t.Errorf("MB = %q", got)
+	}
+	if got := Ns(3.636); got != "3.64 ns" {
+		t.Errorf("Ns = %q", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{2, 4}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("Bars output:\n%s", out)
+	}
+	if !strings.HasSuffix(lines[1], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Errorf("half bar wrong: %q", lines[0])
+	}
+	if Bars(nil, nil, 10) != "" || Bars([]string{"a"}, nil, 10) != "" {
+		t.Error("degenerate inputs not empty")
+	}
+	// Zero values render without panicking.
+	if out := Bars([]string{"z"}, []float64{0}, 10); !strings.Contains(out, "0.00") {
+		t.Errorf("zero bar: %q", out)
+	}
+}

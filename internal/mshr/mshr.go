@@ -1,0 +1,387 @@
+// Package mshr implements the dynamic Miss Status Holding Registers of
+// paper §3.2.3 and the second-phase coalescing of §3.5.
+//
+// A conventional MSHR entry tracks outstanding misses to exactly one cache
+// line. The paper extends each entry with a 2-bit size field so one entry
+// can track a coalesced request of 1, 2 or 4 cache lines (64/128/256 B HMC
+// packets), and extends each subentry with a 2-bit line ID selecting which
+// of those lines the subentry's target is waiting on:
+//
+//	Subentry.addr = Entry.addr + LineID × LineSize   (Equation 2)
+//
+// Second-phase coalescing merges an incoming coalesced request against the
+// outstanding entries (all compared simultaneously by the inherent
+// hardware comparators):
+//
+//	Case A (Figure 6): the request's lines are a subset of one entry —
+//	the whole request merges as subentries; no memory access is issued.
+//	Case B (Figure 6): the request partially overlaps an entry — the
+//	overlapped lines merge as subentries, the rest is re-packetized into
+//	new entries.
+//	Otherwise a fresh entry is allocated, which issues a memory access.
+package mshr
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Size-class limits from §3.2.3: with 64 B lines and HMC 2.1 the coalesced
+// request spans 1, 2 or 4 lines (encoded 00/01/10 in the size segment).
+const MaxLines = 4
+
+// Target identifies one waiter on one cache line. Line is the absolute
+// line number (Addr / LineSize); Token is an opaque caller value returned
+// when the line's data arrives. Payload is the number of useful bytes the
+// original core accesses wanted from this line, used for the Equation-1
+// bandwidth-efficiency accounting.
+type Target struct {
+	Line    uint64
+	Token   uint64
+	Payload uint32
+}
+
+// Sub is a subentry: a waiter expressed relative to its entry.
+type Sub struct {
+	LineID uint8 // which line of the entry, per Equation 2
+	Token  uint64
+}
+
+// Entry is one dynamic MSHR entry: an outstanding coalesced memory request.
+type Entry struct {
+	valid    bool
+	write    bool // the T bit of §3.2.3
+	baseLine uint64
+	lines    uint8 // 1, 2 or 4
+	subs     []Sub
+	payload  uint64 // total useful bytes wanted by this entry's targets
+	index    int
+}
+
+// Valid reports whether the entry is in use.
+func (e *Entry) Valid() bool { return e.valid }
+
+// Write reports the entry's T bit (true = store).
+func (e *Entry) Write() bool { return e.write }
+
+// BaseLine returns the absolute number of the first cache line covered.
+func (e *Entry) BaseLine() uint64 { return e.baseLine }
+
+// Lines returns how many consecutive cache lines the entry covers.
+func (e *Entry) Lines() int { return int(e.lines) }
+
+// SizeClass returns the 2-bit size encoding of §3.2.3: 0b00 for one line,
+// 0b01 for two, 0b10 for four.
+func (e *Entry) SizeClass() uint8 {
+	return uint8(bits.TrailingZeros8(e.lines))
+}
+
+// Subs returns the entry's subentries. The slice must not be modified.
+func (e *Entry) Subs() []Sub { return e.subs }
+
+// Payload returns the total useful bytes wanted by this entry's waiters.
+func (e *Entry) Payload() uint64 { return e.payload }
+
+// Index returns the entry's slot in the file.
+func (e *Entry) Index() int { return e.index }
+
+// covers reports whether the entry covers the absolute line.
+func (e *Entry) covers(line uint64) bool {
+	return e.valid && line >= e.baseLine && line < e.baseLine+uint64(e.lines)
+}
+
+// Config parameterizes the MSHR file.
+type Config struct {
+	// Entries is the number of MSHR entries (paper: 16 in the LLC).
+	Entries int
+	// MaxSubentries bounds waiters per entry; 0 means the paper-typical 8.
+	MaxSubentries int
+	// LineBytes is the cache line size (paper: 64 B).
+	LineBytes uint32
+	// BlockBytes is the HMC block size a request may not cross (256 B).
+	BlockBytes uint32
+	// DisableMerge turns off second-phase coalescing: every insert
+	// allocates fresh entries. Used to evaluate the DMC unit in isolation
+	// (Figure 8's "first phase only" series).
+	DisableMerge bool
+}
+
+// DefaultConfig returns the evaluation setup: 16 entries, 8 subentries,
+// 64 B lines, 256 B HMC blocks.
+func DefaultConfig() Config {
+	return Config{Entries: 16, MaxSubentries: 8, LineBytes: 64, BlockBytes: 256}
+}
+
+// File is the dynamic MSHR file.
+type File struct {
+	cfg     Config
+	entries []Entry
+	free    int
+	stats   Stats
+}
+
+// Stats counts second-phase coalescing activity.
+type Stats struct {
+	// Allocations is the number of entries allocated — each one issues a
+	// memory request, so this equals requests reaching the HMC.
+	Allocations uint64
+	// MergedTargets counts waiters absorbed into existing entries: misses
+	// that did NOT become memory requests thanks to the second phase.
+	MergedTargets uint64
+	// SplitRequests counts Case-B partial overlaps that forced a request
+	// to be broken apart.
+	SplitRequests uint64
+	// FullStalls counts placement attempts deferred because no entry (or
+	// no subentry slot) was available.
+	FullStalls uint64
+	// Completions counts freed entries.
+	Completions uint64
+}
+
+// NewFile builds an MSHR file.
+func NewFile(cfg Config) (*File, error) {
+	if cfg.MaxSubentries == 0 {
+		cfg.MaxSubentries = 8
+	}
+	switch {
+	case cfg.Entries <= 0:
+		return nil, fmt.Errorf("mshr: need at least one entry")
+	case cfg.LineBytes == 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0:
+		return nil, fmt.Errorf("mshr: line size %d not a power of two", cfg.LineBytes)
+	case cfg.BlockBytes < cfg.LineBytes:
+		return nil, fmt.Errorf("mshr: block size %d below line size %d", cfg.BlockBytes, cfg.LineBytes)
+	}
+	f := &File{cfg: cfg, entries: make([]Entry, cfg.Entries), free: cfg.Entries}
+	for i := range f.entries {
+		f.entries[i].index = i
+	}
+	return f, nil
+}
+
+// Config returns the file configuration.
+func (f *File) Config() Config { return f.cfg }
+
+// Free returns the number of unallocated entries.
+func (f *File) Free() int { return f.free }
+
+// Full reports whether every entry is in use.
+func (f *File) Full() bool { return f.free == 0 }
+
+// Stats returns the accumulated counters.
+func (f *File) Stats() Stats { return f.stats }
+
+// Outcome reports what happened to one Insert.
+type Outcome struct {
+	// Issued lists the entries newly allocated by this insert; the caller
+	// must dispatch one memory request per entry.
+	Issued []*Entry
+	// MergedTargets is how many of the request's waiters were absorbed
+	// into pre-existing entries.
+	MergedTargets int
+	// Unplaced holds the waiters that could not be merged or allocated
+	// because the file (or a subentry list) was full. The caller retries
+	// them later, preserving FIFO order from the CRQ.
+	Unplaced []Target
+	// Split reports whether a Case-B partial overlap occurred.
+	Split bool
+}
+
+// Insert performs second-phase coalescing for one coalesced request. The
+// request's waiters live in the line range [baseLine, baseLine+lines);
+// lines bounds the range (1–4) and need not itself be a legal packet size —
+// entries allocated for the remainder are always split into 1/2/4-line
+// packets. write is the T bit. Several waiters may share a line; targets
+// outside the range are rejected.
+func (f *File) Insert(baseLine uint64, lines int, write bool, targets []Target) (Outcome, error) {
+	if lines <= 0 || lines > MaxLines {
+		return Outcome{}, fmt.Errorf("mshr: invalid line count %d", lines)
+	}
+	linesPerBlock := uint64(f.cfg.BlockBytes / f.cfg.LineBytes)
+	if baseLine/linesPerBlock != (baseLine+uint64(lines)-1)/linesPerBlock {
+		return Outcome{}, fmt.Errorf("mshr: request [%d,%d) crosses HMC block boundary", baseLine, baseLine+uint64(lines))
+	}
+	for _, t := range targets {
+		if t.Line < baseLine || t.Line >= baseLine+uint64(lines) {
+			return Outcome{}, fmt.Errorf("mshr: target line %d outside [%d,%d)", t.Line, baseLine, baseLine+uint64(lines))
+		}
+	}
+
+	var out Outcome
+	remaining := targets
+
+	// Phase 1: merge waiters into existing same-type entries that cover
+	// their lines (Cases A and B). All entries are compared at once in
+	// hardware; sequentially scanning is equivalent.
+	mergedLines := make(map[uint64]bool)
+	var kept []Target
+	for _, t := range remaining {
+		var e *Entry
+		if !f.cfg.DisableMerge {
+			e = f.lookup(t.Line, write)
+		}
+		if e == nil {
+			kept = append(kept, t)
+			continue
+		}
+		if len(e.subs) >= f.cfg.MaxSubentries {
+			// No subentry slot: the waiter must wait in the CRQ.
+			out.Unplaced = append(out.Unplaced, t)
+			f.stats.FullStalls++
+			continue
+		}
+		e.subs = append(e.subs, Sub{LineID: uint8(t.Line - e.baseLine), Token: t.Token})
+		e.payload += uint64(t.Payload)
+		mergedLines[t.Line] = true
+		out.MergedTargets++
+		f.stats.MergedTargets++
+	}
+	remaining = kept
+
+	// Detect a Case-B split: some lines merged, some did not.
+	if len(mergedLines) > 0 && len(remaining) > 0 {
+		out.Split = true
+		f.stats.SplitRequests++
+	}
+
+	// Phase 2: re-packetize the leftover lines into contiguous runs and
+	// allocate fresh entries. Runs are split greedily into legal sizes
+	// (4, 2, 1 lines).
+	runs := lineRuns(remaining, baseLine, lines)
+	for _, r := range runs {
+		for _, chunk := range splitRun(r.base, r.len) {
+			if f.free == 0 {
+				// File packed: everything not yet placed is returned.
+				for _, t := range remaining {
+					if t.Line >= chunk.base && !placed(out, t) {
+						out.Unplaced = append(out.Unplaced, t)
+					}
+				}
+				f.stats.FullStalls++
+				return out, nil
+			}
+			e := f.alloc(chunk.base, chunk.len, write)
+			for _, t := range remaining {
+				if t.Line >= chunk.base && t.Line < chunk.base+uint64(chunk.len) {
+					e.subs = append(e.subs, Sub{LineID: uint8(t.Line - chunk.base), Token: t.Token})
+					e.payload += uint64(t.Payload)
+				}
+			}
+			out.Issued = append(out.Issued, e)
+		}
+	}
+	return out, nil
+}
+
+// placed reports whether target t was assigned to an issued entry already.
+func placed(out Outcome, t Target) bool {
+	for _, e := range out.Issued {
+		if e.covers(t.Line) {
+			return true
+		}
+	}
+	return false
+}
+
+// lookup finds a valid entry of matching type covering the line. Matching
+// includes the T bit: with the §3.4 address extension a load never merges
+// into a store entry.
+func (f *File) lookup(line uint64, write bool) *Entry {
+	for i := range f.entries {
+		e := &f.entries[i]
+		if e.covers(line) && e.write == write {
+			return e
+		}
+	}
+	return nil
+}
+
+// LookupLine returns the valid entry covering the line with the given type,
+// or nil. Exposed for the coalescer's bypass path.
+func (f *File) LookupLine(line uint64, write bool) *Entry { return f.lookup(line, write) }
+
+func (f *File) alloc(baseLine uint64, lines int, write bool) *Entry {
+	for i := range f.entries {
+		e := &f.entries[i]
+		if !e.valid {
+			*e = Entry{
+				valid:    true,
+				write:    write,
+				baseLine: baseLine,
+				lines:    uint8(lines),
+				index:    i,
+			}
+			f.free--
+			f.stats.Allocations++
+			return e
+		}
+	}
+	panic("mshr: alloc on full file")
+}
+
+// Complete frees the entry and returns its subentries' tokens so the
+// caller can notify the waiters (Equation 2 reconstructs each address).
+func (f *File) Complete(e *Entry) []Sub {
+	if !e.valid {
+		panic(fmt.Sprintf("mshr: Complete on invalid entry %d", e.index))
+	}
+	subs := e.subs
+	idx := e.index
+	*e = Entry{index: idx}
+	f.free++
+	f.stats.Completions++
+	return subs
+}
+
+// Entries returns the live view of the file for inspection.
+func (f *File) Entries() []Entry {
+	out := make([]Entry, len(f.entries))
+	copy(out, f.entries)
+	return out
+}
+
+type run struct {
+	base uint64
+	len  int
+}
+
+// lineRuns groups the targets' distinct lines into maximal contiguous runs
+// within [baseLine, baseLine+lines).
+func lineRuns(targets []Target, baseLine uint64, lines int) []run {
+	var present [MaxLines]bool
+	for _, t := range targets {
+		present[t.Line-baseLine] = true
+	}
+	var runs []run
+	for i := 0; i < lines; i++ {
+		if !present[i] {
+			continue
+		}
+		j := i
+		for j < lines && present[j] {
+			j++
+		}
+		runs = append(runs, run{base: baseLine + uint64(i), len: j - i})
+		i = j
+	}
+	return runs
+}
+
+// splitRun breaks a contiguous run into legal entry sizes (4, 2, 1 lines).
+// A 4-line chunk is only possible for a full run of 4, which — because
+// coalesced requests never cross HMC blocks — is necessarily block-aligned.
+func splitRun(base uint64, length int) []run {
+	var out []run
+	for length > 0 {
+		size := 1
+		switch {
+		case length >= 4:
+			size = 4
+		case length >= 2:
+			size = 2
+		}
+		out = append(out, run{base: base, len: size})
+		base += uint64(size)
+		length -= size
+	}
+	return out
+}

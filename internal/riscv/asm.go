@@ -1,0 +1,468 @@
+package riscv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates RV64I assembly into encoded instructions. The dialect
+// covers the base ISA plus the common pseudo-instructions:
+//
+//	label:                     ; labels
+//	add  rd, rs1, rs2          ; register ops
+//	addi rd, rs1, imm
+//	ld   rd, off(rs1)          ; loads/stores with displacement syntax
+//	beq  rs1, rs2, label       ; branches to labels
+//	jal  rd, label / j label
+//	li rd, imm  mv rd, rs  nop  ret  beqz/bnez rs, label  fence  ecall
+//	# comment                  ; '#' and '//' comments
+//
+// Immediates accept decimal and 0x hex. Registers accept x0–x31 and the
+// standard ABI names.
+func Assemble(src string) ([]uint32, error) {
+	lines := strings.Split(src, "\n")
+	type item struct {
+		mnemonic string
+		args     []string
+		line     int
+	}
+	var items []item
+	labels := map[string]int{} // label → instruction index
+
+	// Pass 1: strip comments, record labels, expand multi-word pseudos.
+	for ln, raw := range lines {
+		s := raw
+		if i := strings.IndexAny(s, "#"); i >= 0 {
+			s = s[:i]
+		}
+		if i := strings.Index(s, "//"); i >= 0 {
+			s = s[:i]
+		}
+		s = strings.TrimSpace(s)
+		for s != "" {
+			colon := strings.Index(s, ":")
+			if colon < 0 || strings.ContainsAny(s[:colon], " \t,") {
+				break
+			}
+			label := strings.TrimSpace(s[:colon])
+			if label == "" {
+				return nil, fmt.Errorf("riscv asm: line %d: empty label", ln+1)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("riscv asm: line %d: duplicate label %q", ln+1, label)
+			}
+			labels[label] = len(items)
+			s = strings.TrimSpace(s[colon+1:])
+		}
+		if s == "" {
+			continue
+		}
+		fields := strings.Fields(s)
+		mnemonic := strings.ToLower(fields[0])
+		argStr := strings.TrimSpace(s[len(fields[0]):])
+		var args []string
+		if argStr != "" {
+			for _, a := range strings.Split(argStr, ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+		// li may expand to two instructions, so expansion happens here.
+		if mnemonic == "li" {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("riscv asm: line %d: li needs rd, imm", ln+1)
+			}
+			imm, err := parseImm(args[1])
+			if err != nil {
+				return nil, fmt.Errorf("riscv asm: line %d: %v", ln+1, err)
+			}
+			if imm >= -2048 && imm < 2048 {
+				items = append(items, item{"addi", []string{args[0], "zero", args[1]}, ln + 1})
+			} else {
+				if imm < -(1<<31) || imm >= 1<<31 {
+					return nil, fmt.Errorf("riscv asm: line %d: li immediate %d out of 32-bit range", ln+1, imm)
+				}
+				low := imm << 52 >> 52 // sign-extended low 12 bits
+				high := (imm - low) >> 12
+				items = append(items, item{"lui", []string{args[0], strconv.FormatInt(high&0xfffff, 10)}, ln + 1})
+				if low != 0 {
+					items = append(items, item{"addiw", []string{args[0], args[0], strconv.FormatInt(low, 10)}, ln + 1})
+				}
+			}
+			continue
+		}
+		items = append(items, item{mnemonic, args, ln + 1})
+	}
+
+	// Pass 2: encode.
+	prog := make([]uint32, 0, len(items))
+	for idx, it := range items {
+		enc, err := encode(it.mnemonic, it.args, idx, labels)
+		if err != nil {
+			return nil, fmt.Errorf("riscv asm: line %d: %v", it.line, err)
+		}
+		prog = append(prog, enc)
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble but panics on error, for known-good kernels.
+func MustAssemble(src string) []uint32 {
+	prog, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+var regNames = func() map[string]uint32 {
+	m := map[string]uint32{
+		"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+		"t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+		"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+		"s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23, "s8": 24, "s9": 25,
+		"s10": 26, "s11": 27, "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+	}
+	for i := 0; i < 32; i++ {
+		m[fmt.Sprintf("x%d", i)] = uint32(i)
+	}
+	return m
+}()
+
+func parseReg(s string) (uint32, error) {
+	r, ok := regNames[strings.ToLower(s)]
+	if !ok {
+		return 0, fmt.Errorf("unknown register %q", s)
+	}
+	return r, nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "off(reg)" displacement syntax.
+func parseMem(s string) (int64, uint32, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off := int64(0)
+	if strings.TrimSpace(s[:open]) != "" {
+		var err error
+		off, err = parseImm(strings.TrimSpace(s[:open]))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	reg, err := parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, reg, nil
+}
+
+// Instruction format encoders.
+func encR(opcode, funct3, funct7, rd, rs1, rs2 uint32) uint32 {
+	return funct7<<25 | rs2<<20 | rs1<<15 | funct3<<12 | rd<<7 | opcode
+}
+
+func encI(opcode, funct3, rd, rs1 uint32, imm int64) (uint32, error) {
+	if imm < -2048 || imm > 2047 {
+		return 0, fmt.Errorf("I-immediate %d out of range", imm)
+	}
+	return uint32(imm)&0xfff<<20 | rs1<<15 | funct3<<12 | rd<<7 | opcode, nil
+}
+
+func encS(opcode, funct3, rs1, rs2 uint32, imm int64) (uint32, error) {
+	if imm < -2048 || imm > 2047 {
+		return 0, fmt.Errorf("S-immediate %d out of range", imm)
+	}
+	u := uint32(imm) & 0xfff
+	return u>>5<<25 | rs2<<20 | rs1<<15 | funct3<<12 | u&0x1f<<7 | opcode, nil
+}
+
+func encB(funct3, rs1, rs2 uint32, off int64) (uint32, error) {
+	if off < -4096 || off > 4094 || off&1 != 0 {
+		return 0, fmt.Errorf("branch offset %d out of range", off)
+	}
+	u := uint32(off) & 0x1fff
+	return u>>12<<31 | u>>5&0x3f<<25 | rs2<<20 | rs1<<15 | funct3<<12 |
+		u>>1&0xf<<8 | u>>11&1<<7 | 0x63, nil
+}
+
+func encU(opcode, rd uint32, imm int64) (uint32, error) {
+	if imm < 0 || imm > 0xfffff {
+		return 0, fmt.Errorf("U-immediate %d out of range", imm)
+	}
+	return uint32(imm)<<12 | rd<<7 | opcode, nil
+}
+
+func encJ(rd uint32, off int64) (uint32, error) {
+	if off < -(1<<20) || off >= 1<<20 || off&1 != 0 {
+		return 0, fmt.Errorf("jump offset %d out of range", off)
+	}
+	u := uint32(off) & 0x1fffff
+	return u>>20<<31 | u>>1&0x3ff<<21 | u>>11&1<<20 | u>>12&0xff<<12 | rd<<7 | 0x6f, nil
+}
+
+type rSpec struct{ funct3, funct7, opcode uint32 }
+
+var rOps = map[string]rSpec{
+	"add": {0, 0, 0x33}, "sub": {0, 0x20, 0x33}, "sll": {1, 0, 0x33},
+	"slt": {2, 0, 0x33}, "sltu": {3, 0, 0x33}, "xor": {4, 0, 0x33},
+	"srl": {5, 0, 0x33}, "sra": {5, 0x20, 0x33}, "or": {6, 0, 0x33}, "and": {7, 0, 0x33},
+	"addw": {0, 0, 0x3b}, "subw": {0, 0x20, 0x3b}, "sllw": {1, 0, 0x3b},
+	"srlw": {5, 0, 0x3b}, "sraw": {5, 0x20, 0x3b},
+	// RV64M
+	"mul": {0, 1, 0x33}, "mulh": {1, 1, 0x33}, "mulhsu": {2, 1, 0x33}, "mulhu": {3, 1, 0x33},
+	"div": {4, 1, 0x33}, "divu": {5, 1, 0x33}, "rem": {6, 1, 0x33}, "remu": {7, 1, 0x33},
+	"mulw": {0, 1, 0x3b}, "divw": {4, 1, 0x3b}, "divuw": {5, 1, 0x3b},
+	"remw": {6, 1, 0x3b}, "remuw": {7, 1, 0x3b},
+}
+
+var iOps = map[string]struct{ funct3, opcode uint32 }{
+	"addi": {0, 0x13}, "slti": {2, 0x13}, "sltiu": {3, 0x13},
+	"xori": {4, 0x13}, "ori": {6, 0x13}, "andi": {7, 0x13},
+	"addiw": {0, 0x1b},
+}
+
+var shiftOps = map[string]struct {
+	funct3, opcode, high uint32
+	maxShamt             int64
+}{
+	"slli": {1, 0x13, 0, 63}, "srli": {5, 0x13, 0, 63}, "srai": {5, 0x13, 0x400 >> 5, 63},
+	"slliw": {1, 0x1b, 0, 31}, "srliw": {5, 0x1b, 0, 31}, "sraiw": {5, 0x1b, 0x20, 31},
+}
+
+var loadOps = map[string]uint32{
+	"lb": 0, "lh": 1, "lw": 2, "ld": 3, "lbu": 4, "lhu": 5, "lwu": 6,
+}
+
+var storeOps = map[string]uint32{"sb": 0, "sh": 1, "sw": 2, "sd": 3}
+
+var branchOps = map[string]uint32{
+	"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7,
+}
+
+func encode(m string, args []string, idx int, labels map[string]int) (uint32, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", m, n, len(args))
+		}
+		return nil
+	}
+	labelOff := func(s string) (int64, error) {
+		if target, ok := labels[s]; ok {
+			return int64(target-idx) * 4, nil
+		}
+		return parseImm(s)
+	}
+
+	switch {
+	case m == "nop":
+		return encI(0x13, 0, 0, 0, 0)
+	case m == "ret":
+		return encI(0x67, 0, 0, 1, 0) // jalr x0, 0(ra)
+	case m == "ecall":
+		return 0x73, nil
+	case m == "ebreak":
+		return 0x00100073, nil
+	case m == "fence":
+		return 0x0ff0000f, nil
+	case m == "mv":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rs, err := parseReg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		return encI(0x13, 0, rd, rs, 0)
+	case m == "j":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		off, err := labelOff(args[0])
+		if err != nil {
+			return 0, err
+		}
+		return encJ(0, off)
+	case m == "jal":
+		if len(args) == 1 { // jal label → jal ra, label
+			args = []string{"ra", args[0]}
+		}
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		off, err := labelOff(args[1])
+		if err != nil {
+			return 0, err
+		}
+		return encJ(rd, off)
+	case m == "jalr":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		off, rs1, err := parseMem(args[1])
+		if err != nil {
+			return 0, err
+		}
+		return encI(0x67, 0, rd, rs1, off)
+	case m == "beqz" || m == "bnez":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		f3 := uint32(0)
+		if m == "bnez" {
+			f3 = 1
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		off, err := labelOff(args[1])
+		if err != nil {
+			return 0, err
+		}
+		return encB(f3, rs, 0, off)
+	case m == "lui" || m == "auipc":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return 0, err
+		}
+		op := uint32(0x37)
+		if m == "auipc" {
+			op = 0x17
+		}
+		return encU(op, rd, imm)
+	}
+
+	if spec, ok := rOps[m]; ok {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		rs2, err := parseReg(args[2])
+		if err != nil {
+			return 0, err
+		}
+		return encR(spec.opcode, spec.funct3, spec.funct7, rd, rs1, rs2), nil
+	}
+	if spec, ok := iOps[m]; ok {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return 0, err
+		}
+		return encI(spec.opcode, spec.funct3, rd, rs1, imm)
+	}
+	if spec, ok := shiftOps[m]; ok {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		shamt, err := parseImm(args[2])
+		if err != nil {
+			return 0, err
+		}
+		if shamt < 0 || shamt > spec.maxShamt {
+			return 0, fmt.Errorf("shift amount %d out of range", shamt)
+		}
+		return spec.high<<25 | uint32(shamt)<<20 | rs1<<15 | spec.funct3<<12 | rd<<7 | spec.opcode, nil
+	}
+	if f3, ok := loadOps[m]; ok {
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		off, rs1, err := parseMem(args[1])
+		if err != nil {
+			return 0, err
+		}
+		return encI(0x03, f3, rd, rs1, off)
+	}
+	if f3, ok := storeOps[m]; ok {
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rs2, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		off, rs1, err := parseMem(args[1])
+		if err != nil {
+			return 0, err
+		}
+		return encS(0x23, f3, rs1, rs2, off)
+	}
+	if f3, ok := branchOps[m]; ok {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		rs2, err := parseReg(args[1])
+		if err != nil {
+			return 0, err
+		}
+		off, err := labelOff(args[2])
+		if err != nil {
+			return 0, err
+		}
+		return encB(f3, rs1, rs2, off)
+	}
+	return 0, fmt.Errorf("unknown mnemonic %q", m)
+}

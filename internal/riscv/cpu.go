@@ -1,0 +1,482 @@
+// Package riscv implements an RV64I instruction-set emulator with a small
+// two-pass assembler and a memory tracer hook. It substitutes for the
+// RISC-V Spike simulator of the paper's evaluation (§5.1): programs run on
+// the base integer ISA and every load, store and fence is reported to the
+// tracer, producing the access stream the memory coalescer consumes.
+package riscv
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hmccoal/internal/trace"
+)
+
+// Tracer receives one event per memory operation the program performs.
+type Tracer func(a trace.Access)
+
+// XLEN is the register width in bits.
+const XLEN = 64
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// CPU is a single RV64I hart with a sparse byte-addressed memory.
+type CPU struct {
+	X      [32]uint64 // integer registers; X[0] is hardwired to zero
+	PC     uint64
+	mem    map[uint64]*[pageSize]byte
+	tracer Tracer
+	// InstrTicks is the cycle cost charged per retired instruction when
+	// stamping trace events (default 1).
+	InstrTicks uint64
+	// Cycle counts retired instructions × InstrTicks.
+	Cycle uint64
+	// Hart is the CPU id stamped into trace events.
+	Hart uint8
+
+	halted bool
+}
+
+// NewCPU returns a hart with empty memory.
+func NewCPU() *CPU {
+	return &CPU{mem: make(map[uint64]*[pageSize]byte), InstrTicks: 1}
+}
+
+// SetTracer installs the memory-event hook.
+func (c *CPU) SetTracer(t Tracer) { c.tracer = t }
+
+// Halted reports whether the program executed ECALL/EBREAK.
+func (c *CPU) Halted() bool { return c.halted }
+
+func (c *CPU) page(addr uint64) *[pageSize]byte {
+	base := addr >> pageBits
+	p, ok := c.mem[base]
+	if !ok {
+		p = new([pageSize]byte)
+		c.mem[base] = p
+	}
+	return p
+}
+
+// ReadMem copies n bytes at addr (no trace event).
+func (c *CPU) ReadMem(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		a := addr + uint64(i)
+		out[i] = c.page(a)[a&(pageSize-1)]
+	}
+	return out
+}
+
+// WriteMem stores raw bytes at addr (no trace event).
+func (c *CPU) WriteMem(addr uint64, data []byte) {
+	for i, b := range data {
+		a := addr + uint64(i)
+		c.page(a)[a&(pageSize-1)] = b
+	}
+}
+
+func (c *CPU) load(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		v |= uint64(c.page(a)[a&(pageSize-1)]) << (8 * i)
+	}
+	if c.tracer != nil {
+		c.tracer(trace.Access{Addr: addr, Size: uint32(size), Kind: trace.Load, CPU: c.Hart, Tick: c.Cycle})
+	}
+	return v
+}
+
+func (c *CPU) store(addr uint64, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		c.page(a)[a&(pageSize-1)] = byte(v >> (8 * i))
+	}
+	if c.tracer != nil {
+		c.tracer(trace.Access{Addr: addr, Size: uint32(size), Kind: trace.Store, CPU: c.Hart, Tick: c.Cycle})
+	}
+}
+
+// LoadProgram writes the encoded instructions at addr and points PC there.
+func (c *CPU) LoadProgram(addr uint64, prog []uint32) {
+	for i, ins := range prog {
+		a := addr + uint64(i)*4
+		c.page(a)[a&(pageSize-1)] = byte(ins)
+		c.page(a + 1)[(a+1)&(pageSize-1)] = byte(ins >> 8)
+		c.page(a + 2)[(a+2)&(pageSize-1)] = byte(ins >> 16)
+		c.page(a + 3)[(a+3)&(pageSize-1)] = byte(ins >> 24)
+	}
+	c.PC = addr
+}
+
+func signExtend(v uint64, bits uint) uint64 {
+	shift := 64 - bits
+	return uint64(int64(v<<shift) >> shift)
+}
+
+// Step executes one instruction. It returns an error on an illegal opcode.
+func (c *CPU) Step() error {
+	if c.halted {
+		return fmt.Errorf("riscv: step on halted hart")
+	}
+	raw := uint32(c.load64NoTrace(c.PC))
+	ins := raw
+	next := c.PC + 4
+
+	opcode := ins & 0x7f
+	rd := ins >> 7 & 0x1f
+	funct3 := ins >> 12 & 0x7
+	rs1 := ins >> 15 & 0x1f
+	rs2 := ins >> 20 & 0x1f
+	funct7 := ins >> 25
+
+	iImm := signExtend(uint64(ins>>20), 12)
+	sImm := signExtend(uint64(ins>>25<<5|ins>>7&0x1f), 12)
+	bImm := signExtend(uint64(ins>>31<<12|ins>>7&1<<11|ins>>25&0x3f<<5|ins>>8&0xf<<1), 13)
+	uImm := uint64(ins) & 0xfffff000
+	jImm := signExtend(uint64(ins>>31<<20|ins>>12&0xff<<12|ins>>20&1<<11|ins>>21&0x3ff<<1), 21)
+
+	x := func(r uint32) uint64 { return c.X[r] }
+	set := func(r uint32, v uint64) {
+		if r != 0 {
+			c.X[r] = v
+		}
+	}
+
+	switch opcode {
+	case 0x37: // LUI
+		set(rd, signExtend(uImm, 32))
+	case 0x17: // AUIPC
+		set(rd, c.PC+signExtend(uImm, 32))
+	case 0x6f: // JAL
+		set(rd, next)
+		next = c.PC + jImm
+	case 0x67: // JALR
+		t := (x(rs1) + iImm) &^ 1
+		set(rd, next)
+		next = t
+	case 0x63: // branches
+		taken := false
+		a, b := x(rs1), x(rs2)
+		switch funct3 {
+		case 0:
+			taken = a == b // BEQ
+		case 1:
+			taken = a != b // BNE
+		case 4:
+			taken = int64(a) < int64(b) // BLT
+		case 5:
+			taken = int64(a) >= int64(b) // BGE
+		case 6:
+			taken = a < b // BLTU
+		case 7:
+			taken = a >= b // BGEU
+		default:
+			return c.illegal(raw)
+		}
+		if taken {
+			next = c.PC + bImm
+		}
+	case 0x03: // loads
+		addr := x(rs1) + iImm
+		switch funct3 {
+		case 0:
+			set(rd, signExtend(c.load(addr, 1), 8)) // LB
+		case 1:
+			set(rd, signExtend(c.load(addr, 2), 16)) // LH
+		case 2:
+			set(rd, signExtend(c.load(addr, 4), 32)) // LW
+		case 3:
+			set(rd, c.load(addr, 8)) // LD
+		case 4:
+			set(rd, c.load(addr, 1)) // LBU
+		case 5:
+			set(rd, c.load(addr, 2)) // LHU
+		case 6:
+			set(rd, c.load(addr, 4)) // LWU
+		default:
+			return c.illegal(raw)
+		}
+	case 0x23: // stores
+		addr := x(rs1) + sImm
+		switch funct3 {
+		case 0:
+			c.store(addr, 1, x(rs2)) // SB
+		case 1:
+			c.store(addr, 2, x(rs2)) // SH
+		case 2:
+			c.store(addr, 4, x(rs2)) // SW
+		case 3:
+			c.store(addr, 8, x(rs2)) // SD
+		default:
+			return c.illegal(raw)
+		}
+	case 0x13: // OP-IMM
+		v, err := c.aluImm(funct3, funct7, x(rs1), iImm, ins)
+		if err != nil {
+			return err
+		}
+		set(rd, v)
+	case 0x1b: // OP-IMM-32
+		v, err := c.aluImm32(funct3, funct7, x(rs1), iImm, ins)
+		if err != nil {
+			return err
+		}
+		set(rd, v)
+	case 0x33: // OP
+		v, err := alu(funct3, funct7, x(rs1), x(rs2))
+		if err != nil {
+			return c.illegal(raw)
+		}
+		set(rd, v)
+	case 0x3b: // OP-32
+		v, err := alu32(funct3, funct7, x(rs1), x(rs2))
+		if err != nil {
+			return c.illegal(raw)
+		}
+		set(rd, v)
+	case 0x0f: // FENCE
+		if c.tracer != nil {
+			c.tracer(trace.Access{Kind: trace.FenceOp, CPU: c.Hart, Tick: c.Cycle})
+		}
+	case 0x73: // SYSTEM: ECALL/EBREAK halt the hart
+		c.halted = true
+	default:
+		return c.illegal(raw)
+	}
+
+	c.PC = next
+	c.Cycle += c.InstrTicks
+	c.X[0] = 0
+	return nil
+}
+
+func (c *CPU) illegal(raw uint32) error {
+	return fmt.Errorf("riscv: illegal instruction %#08x at PC %#x", raw, c.PC)
+}
+
+// load64NoTrace fetches an instruction word without generating a trace
+// event (instruction fetch is not part of the studied data traffic).
+func (c *CPU) load64NoTrace(addr uint64) uint64 {
+	var v uint64
+	for i := 0; i < 4; i++ {
+		a := addr + uint64(i)
+		v |= uint64(c.page(a)[a&(pageSize-1)]) << (8 * i)
+	}
+	return v
+}
+
+func (c *CPU) aluImm(funct3, funct7 uint32, a, imm uint64, ins uint32) (uint64, error) {
+	shamt := ins >> 20 & 0x3f
+	switch funct3 {
+	case 0:
+		return a + imm, nil // ADDI
+	case 2:
+		if int64(a) < int64(imm) {
+			return 1, nil
+		}
+		return 0, nil // SLTI
+	case 3:
+		if a < imm {
+			return 1, nil
+		}
+		return 0, nil // SLTIU
+	case 4:
+		return a ^ imm, nil // XORI
+	case 6:
+		return a | imm, nil // ORI
+	case 7:
+		return a & imm, nil // ANDI
+	case 1:
+		return a << shamt, nil // SLLI
+	case 5:
+		if funct7>>1 == 0x10 { // SRAI
+			return uint64(int64(a) >> shamt), nil
+		}
+		return a >> shamt, nil // SRLI
+	}
+	return 0, c.illegal(ins)
+}
+
+func (c *CPU) aluImm32(funct3, funct7 uint32, a, imm uint64, ins uint32) (uint64, error) {
+	shamt := ins >> 20 & 0x1f
+	switch funct3 {
+	case 0:
+		return signExtend(uint64(uint32(a)+uint32(imm)), 32), nil // ADDIW
+	case 1:
+		return signExtend(uint64(uint32(a)<<shamt), 32), nil // SLLIW
+	case 5:
+		if funct7 == 0x20 { // SRAIW
+			return uint64(int64(int32(a) >> shamt)), nil
+		}
+		return signExtend(uint64(uint32(a)>>shamt), 32), nil // SRLIW
+	}
+	return 0, c.illegal(ins)
+}
+
+func alu(funct3, funct7 uint32, a, b uint64) (uint64, error) {
+	if funct7 == 1 { // RV64M
+		return mulDiv(funct3, a, b)
+	}
+	switch {
+	case funct3 == 0 && funct7 == 0:
+		return a + b, nil // ADD
+	case funct3 == 0 && funct7 == 0x20:
+		return a - b, nil // SUB
+	case funct3 == 1 && funct7 == 0:
+		return a << (b & 63), nil // SLL
+	case funct3 == 2 && funct7 == 0: // SLT
+		if int64(a) < int64(b) {
+			return 1, nil
+		}
+		return 0, nil
+	case funct3 == 3 && funct7 == 0: // SLTU
+		if a < b {
+			return 1, nil
+		}
+		return 0, nil
+	case funct3 == 4 && funct7 == 0:
+		return a ^ b, nil // XOR
+	case funct3 == 5 && funct7 == 0:
+		return a >> (b & 63), nil // SRL
+	case funct3 == 5 && funct7 == 0x20:
+		return uint64(int64(a) >> (b & 63)), nil // SRA
+	case funct3 == 6 && funct7 == 0:
+		return a | b, nil // OR
+	case funct3 == 7 && funct7 == 0:
+		return a & b, nil // AND
+	}
+	return 0, fmt.Errorf("riscv: bad OP funct %d/%#x", funct3, funct7)
+}
+
+func alu32(funct3, funct7 uint32, a, b uint64) (uint64, error) {
+	if funct7 == 1 { // RV64M word forms
+		return mulDiv32(funct3, a, b)
+	}
+	switch {
+	case funct3 == 0 && funct7 == 0:
+		return signExtend(uint64(uint32(a)+uint32(b)), 32), nil // ADDW
+	case funct3 == 0 && funct7 == 0x20:
+		return signExtend(uint64(uint32(a)-uint32(b)), 32), nil // SUBW
+	case funct3 == 1 && funct7 == 0:
+		return signExtend(uint64(uint32(a)<<(b&31)), 32), nil // SLLW
+	case funct3 == 5 && funct7 == 0:
+		return signExtend(uint64(uint32(a)>>(b&31)), 32), nil // SRLW
+	case funct3 == 5 && funct7 == 0x20:
+		return uint64(int64(int32(a) >> (b & 31))), nil // SRAW
+	}
+	return 0, fmt.Errorf("riscv: bad OP-32 funct %d/%#x", funct3, funct7)
+}
+
+// mulDiv implements the RV64M OP instructions. Division by zero and
+// overflow follow the ISA manual: x/0 = −1 (or all ones unsigned),
+// x%0 = x, MinInt64/−1 = MinInt64 with remainder 0.
+func mulDiv(funct3 uint32, a, b uint64) (uint64, error) {
+	switch funct3 {
+	case 0: // MUL
+		return a * b, nil
+	case 1: // MULH
+		hi, _ := bits.Mul64(a, b)
+		// Sign-correct the unsigned high product.
+		if int64(a) < 0 {
+			hi -= b
+		}
+		if int64(b) < 0 {
+			hi -= a
+		}
+		return hi, nil
+	case 2: // MULHSU
+		hi, _ := bits.Mul64(a, b)
+		if int64(a) < 0 {
+			hi -= b
+		}
+		return hi, nil
+	case 3: // MULHU
+		hi, _ := bits.Mul64(a, b)
+		return hi, nil
+	case 4: // DIV
+		sa, sb := int64(a), int64(b)
+		switch {
+		case sb == 0:
+			return ^uint64(0), nil
+		case sa == -1<<63 && sb == -1:
+			return a, nil
+		}
+		return uint64(sa / sb), nil
+	case 5: // DIVU
+		if b == 0 {
+			return ^uint64(0), nil
+		}
+		return a / b, nil
+	case 6: // REM
+		sa, sb := int64(a), int64(b)
+		switch {
+		case sb == 0:
+			return a, nil
+		case sa == -1<<63 && sb == -1:
+			return 0, nil
+		}
+		return uint64(sa % sb), nil
+	case 7: // REMU
+		if b == 0 {
+			return a, nil
+		}
+		return a % b, nil
+	}
+	return 0, fmt.Errorf("riscv: bad M funct3 %d", funct3)
+}
+
+// mulDiv32 implements the RV64M word (W) instructions.
+func mulDiv32(funct3 uint32, a, b uint64) (uint64, error) {
+	wa, wb := int32(a), int32(b)
+	switch funct3 {
+	case 0: // MULW
+		return uint64(int64(wa * wb)), nil
+	case 4: // DIVW
+		switch {
+		case wb == 0:
+			return ^uint64(0), nil
+		case wa == -1<<31 && wb == -1:
+			return uint64(int64(wa)), nil
+		}
+		return uint64(int64(wa / wb)), nil
+	case 5: // DIVUW
+		if uint32(b) == 0 {
+			return ^uint64(0), nil
+		}
+		return uint64(int64(int32(uint32(a) / uint32(b)))), nil
+	case 6: // REMW
+		switch {
+		case wb == 0:
+			return uint64(int64(wa)), nil
+		case wa == -1<<31 && wb == -1:
+			return 0, nil
+		}
+		return uint64(int64(wa % wb)), nil
+	case 7: // REMUW
+		if uint32(b) == 0 {
+			return uint64(int64(int32(uint32(a)))), nil
+		}
+		return uint64(int64(int32(uint32(a) % uint32(b)))), nil
+	}
+	return 0, fmt.Errorf("riscv: bad MW funct3 %d", funct3)
+}
+
+// Run executes until the hart halts or maxSteps instructions retire. It
+// returns the number of retired instructions.
+func (c *CPU) Run(maxSteps int) (int, error) {
+	for n := 0; n < maxSteps; n++ {
+		if c.halted {
+			return n, nil
+		}
+		if err := c.Step(); err != nil {
+			return n, err
+		}
+	}
+	if !c.halted {
+		return maxSteps, fmt.Errorf("riscv: program did not halt within %d steps", maxSteps)
+	}
+	return maxSteps, nil
+}

@@ -1,0 +1,127 @@
+package riscv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders one encoded instruction in the assembler's dialect.
+// Unknown encodings render as ".word 0x…". The output round-trips through
+// Assemble for every mnemonic the assembler emits (branch and jump targets
+// are rendered as numeric offsets).
+func Disassemble(ins uint32) string {
+	opcode := ins & 0x7f
+	rd := regName(ins >> 7 & 0x1f)
+	funct3 := ins >> 12 & 0x7
+	rs1 := regName(ins >> 15 & 0x1f)
+	rs2 := regName(ins >> 20 & 0x1f)
+	funct7 := ins >> 25
+
+	iImm := int64(signExtend(uint64(ins>>20), 12))
+	sImm := int64(signExtend(uint64(ins>>25<<5|ins>>7&0x1f), 12))
+	bImm := int64(signExtend(uint64(ins>>31<<12|ins>>7&1<<11|ins>>25&0x3f<<5|ins>>8&0xf<<1), 13))
+	uImm := int64(ins >> 12)
+	jImm := int64(signExtend(uint64(ins>>31<<20|ins>>12&0xff<<12|ins>>20&1<<11|ins>>21&0x3ff<<1), 21))
+
+	switch opcode {
+	case 0x37:
+		return fmt.Sprintf("lui %s, %#x", rd, uImm)
+	case 0x17:
+		return fmt.Sprintf("auipc %s, %#x", rd, uImm)
+	case 0x6f:
+		return fmt.Sprintf("jal %s, %d", rd, jImm)
+	case 0x67:
+		return fmt.Sprintf("jalr %s, %d(%s)", rd, iImm, rs1)
+	case 0x63:
+		if m := reverse(branchOps, funct3); m != "" {
+			return fmt.Sprintf("%s %s, %s, %d", m, rs1, rs2, bImm)
+		}
+	case 0x03:
+		if m := reverse(loadOps, funct3); m != "" {
+			return fmt.Sprintf("%s %s, %d(%s)", m, rd, iImm, rs1)
+		}
+	case 0x23:
+		if m := reverse(storeOps, funct3); m != "" {
+			return fmt.Sprintf("%s %s, %d(%s)", m, rs2, sImm, rs1)
+		}
+	case 0x13, 0x1b:
+		return disasmOpImm(ins, opcode, funct3, funct7, rd, rs1, iImm)
+	case 0x33, 0x3b:
+		for m, spec := range rOps {
+			if spec.opcode == opcode && spec.funct3 == funct3 && spec.funct7 == funct7 {
+				return fmt.Sprintf("%s %s, %s, %s", m, rd, rs1, rs2)
+			}
+		}
+	case 0x0f:
+		return "fence"
+	case 0x73:
+		if ins == 0x73 {
+			return "ecall"
+		}
+		if ins == 0x00100073 {
+			return "ebreak"
+		}
+	}
+	return fmt.Sprintf(".word %#08x", ins)
+}
+
+func disasmOpImm(ins, opcode, funct3, funct7 uint32, rd, rs1 string, iImm int64) string {
+	// Shifts first: they share funct3 slots with the arithmetic immediates.
+	for m, spec := range shiftOps {
+		if spec.opcode != opcode || spec.funct3 != funct3 {
+			continue
+		}
+		var shamt uint32
+		if opcode == 0x13 {
+			if funct3 == 5 && (funct7>>1 == 0x10) != (spec.high != 0) {
+				continue
+			}
+			shamt = ins >> 20 & 0x3f
+		} else {
+			if funct3 == 5 && (funct7 == 0x20) != (spec.high != 0) {
+				continue
+			}
+			shamt = ins >> 20 & 0x1f
+		}
+		if funct3 == 1 || funct3 == 5 {
+			return fmt.Sprintf("%s %s, %s, %d", m, rd, rs1, shamt)
+		}
+	}
+	for m, spec := range iOps {
+		if spec.opcode == opcode && spec.funct3 == funct3 {
+			return fmt.Sprintf("%s %s, %s, %d", m, rd, rs1, iImm)
+		}
+	}
+	return fmt.Sprintf(".word %#08x", ins)
+}
+
+// DisassembleAll renders a program, one instruction per line, with
+// instruction-index-relative addresses.
+func DisassembleAll(prog []uint32, base uint64) string {
+	var b strings.Builder
+	for i, ins := range prog {
+		fmt.Fprintf(&b, "%8x:  %08x  %s\n", base+uint64(i)*4, ins, Disassemble(ins))
+	}
+	return b.String()
+}
+
+// regName renders the ABI register name.
+func regName(r uint32) string {
+	names := [32]string{
+		"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+		"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+		"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+		"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+	}
+	return names[r&31]
+}
+
+// reverse finds the mnemonic mapping to funct3 in a one-level op table.
+func reverse(m map[string]uint32, funct3 uint32) string {
+	for name, f := range m {
+		if f == funct3 {
+			return name
+		}
+	}
+	return ""
+}

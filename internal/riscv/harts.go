@@ -1,0 +1,56 @@
+package riscv
+
+import (
+	"fmt"
+
+	"hmccoal/internal/trace"
+)
+
+// HartSpec configures one hart of a multi-hart run.
+type HartSpec struct {
+	// Program is the assembled kernel (shared programs may alias).
+	Program []uint32
+	// LoadAddr is where the program is loaded (PC starts here).
+	LoadAddr uint64
+	// AddrOffset is added to every traced data address, placing the hart's
+	// private memory in a distinct region of the shared physical space —
+	// the way per-thread heaps are laid out.
+	AddrOffset uint64
+	// InstrTicks is the cycle cost per retired instruction (0 = 1).
+	InstrTicks uint64
+	// Setup seeds the hart's memory before execution.
+	Setup func(*CPU)
+}
+
+// RunHarts executes one kernel per hart (each hart has private memory, as
+// the emulator is single-core) and returns the merged, tick-ordered memory
+// trace — the §5.1 trace-capture methodology for a multi-core run. maxSteps
+// bounds each hart individually.
+func RunHarts(specs []HartSpec, maxSteps int) ([]trace.Access, error) {
+	if len(specs) == 0 || len(specs) > 256 {
+		return nil, fmt.Errorf("riscv: hart count %d out of range", len(specs))
+	}
+	var traces [][]trace.Access
+	for i, spec := range specs {
+		cpu := NewCPU()
+		cpu.Hart = uint8(i)
+		if spec.InstrTicks > 0 {
+			cpu.InstrTicks = spec.InstrTicks
+		}
+		var events []trace.Access
+		offset := spec.AddrOffset
+		cpu.SetTracer(func(a trace.Access) {
+			a.Addr += offset
+			events = append(events, a)
+		})
+		cpu.LoadProgram(spec.LoadAddr, spec.Program)
+		if spec.Setup != nil {
+			spec.Setup(cpu)
+		}
+		if _, err := cpu.Run(maxSteps); err != nil {
+			return nil, fmt.Errorf("riscv: hart %d: %w", i, err)
+		}
+		traces = append(traces, events)
+	}
+	return trace.Merge(traces...), nil
+}

@@ -1,0 +1,160 @@
+package riscv
+
+import "fmt"
+
+// Kernel layout constants shared by the sample programs: three disjoint
+// 1 MiB regions for operands and results.
+const (
+	KernelABase = 0x100000
+	KernelBBase = 0x200000
+	KernelCBase = 0x300000
+	KernelXBase = 0x400000
+	KernelPBase = 0x500000
+)
+
+// VecAddProgram returns RV64I assembly for c[i] = a[i] + b[i] over n 64-bit
+// elements — the STREAM-like sequential kernel.
+func VecAddProgram(n int) string {
+	return fmt.Sprintf(`
+        li   t0, %d          # a
+        li   t1, %d          # b
+        li   t2, %d          # c
+        li   t3, %d          # elements remaining
+loop:   beqz t3, done
+        ld   a0, 0(t0)
+        ld   a1, 0(t1)
+        add  a0, a0, a1
+        sd   a0, 0(t2)
+        addi t0, t0, 8
+        addi t1, t1, 8
+        addi t2, t2, 8
+        addi t3, t3, -1
+        j    loop
+done:   fence
+        ecall
+`, KernelABase, KernelBBase, KernelCBase, n)
+}
+
+// VecAddUnrolledProgram returns the 8×-unrolled form of VecAddProgram —
+// the shape optimizing compilers emit, whose back-to-back loads give the
+// memory coalescer whole-cache-line runs to fuse. n must be a multiple
+// of 8.
+func VecAddUnrolledProgram(n int) string {
+	if n%8 != 0 {
+		panic("VecAddUnrolledProgram: n must be a multiple of 8")
+	}
+	body := ""
+	for i := 0; i < 8; i++ {
+		body += fmt.Sprintf("        ld   a%d, %d(t0)\n", i, i*8)
+	}
+	for i := 0; i < 8; i++ {
+		body += fmt.Sprintf("        ld   s%d, %d(t1)\n", i+2, i*8)
+	}
+	for i := 0; i < 8; i++ {
+		body += fmt.Sprintf("        add  a%d, a%d, s%d\n        sd   a%d, %d(t2)\n",
+			i, i, i+2, i, i*8)
+	}
+	return fmt.Sprintf(`
+        li   t0, %d          # a
+        li   t1, %d          # b
+        li   t2, %d          # c
+        li   t3, %d          # 8-element groups remaining
+loop:   beqz t3, done
+%s        addi t0, t0, 64
+        addi t1, t1, 64
+        addi t2, t2, 64
+        addi t3, t3, -1
+        j    loop
+done:   fence
+        ecall
+`, KernelABase, KernelBBase, KernelCBase, n/8, body)
+}
+
+// GatherProgram returns RV64I assembly for c[i] = a[idx[i]]: a sequential
+// index stream driving data-dependent loads — the SG-like kernel. The
+// caller must seed idx (8-byte indices) at KernelBBase.
+func GatherProgram(n int) string {
+	return fmt.Sprintf(`
+        li   t0, %d          # a (data table)
+        li   t1, %d          # idx
+        li   t2, %d          # c
+        li   t3, %d          # elements remaining
+loop:   beqz t3, done
+        ld   a0, 0(t1)       # index
+        slli a0, a0, 3
+        add  a0, a0, t0
+        ld   a1, 0(a0)       # gather
+        sd   a1, 0(t2)
+        addi t1, t1, 8
+        addi t2, t2, 8
+        addi t3, t3, -1
+        j    loop
+done:   fence
+        ecall
+`, KernelABase, KernelBBase, KernelCBase, n)
+}
+
+// SpMVProgram returns RV64IM assembly for a CSR sparse matrix-vector
+// multiply y = A·x over `rows` rows — the HPCG-like kernel. Memory layout
+// (all 64-bit words):
+//
+//	KernelABase: vals   (nonzero values)
+//	KernelBBase: colIdx (column indices, one per value)
+//	KernelCBase: y      (output, one per row)
+//	KernelXBase: x      (dense vector)
+//	KernelPBase: rowPtr (rows+1 entries)
+func SpMVProgram(rows int) string {
+	return fmt.Sprintf(`
+        li   s0, %d          # vals
+        li   s1, %d          # colIdx
+        li   s2, %d          # y
+        li   s3, %d          # x
+        li   s4, %d          # rowPtr
+        li   s5, %d          # rows remaining
+        li   s6, 0           # row counter
+rows:   beqz s5, done
+        slli t0, s6, 3
+        add  t1, s4, t0
+        ld   t2, 0(t1)       # rowPtr[r]
+        ld   t3, 8(t1)       # rowPtr[r+1]
+        li   a0, 0           # accumulator
+inner:  bge  t2, t3, store
+        slli t4, t2, 3
+        add  t5, s0, t4
+        ld   a1, 0(t5)       # vals[k]
+        add  t5, s1, t4
+        ld   a2, 0(t5)       # colIdx[k]
+        slli a2, a2, 3
+        add  a2, s3, a2
+        ld   a3, 0(a2)       # x[col]
+        mul  a1, a1, a3
+        add  a0, a0, a1
+        addi t2, t2, 1
+        j    inner
+store:  slli t0, s6, 3
+        add  t0, s2, t0
+        sd   a0, 0(t0)       # y[r]
+        addi s6, s6, 1
+        addi s5, s5, -1
+        j    rows
+done:   fence
+        ecall
+`, KernelABase, KernelBBase, KernelCBase, KernelXBase, KernelPBase, rows)
+}
+
+// ReduceProgram returns RV64I assembly summing n 64-bit elements at
+// KernelABase into a0 — a pure sequential read kernel.
+func ReduceProgram(n int) string {
+	return fmt.Sprintf(`
+        li   t0, %d
+        li   t3, %d
+        li   a0, 0
+loop:   beqz t3, done
+        ld   a1, 0(t0)
+        add  a0, a0, a1
+        addi t0, t0, 8
+        addi t3, t3, -1
+        j    loop
+done:   ecall
+`, KernelABase, n)
+}

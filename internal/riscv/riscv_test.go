@@ -1,0 +1,561 @@
+package riscv
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"hmccoal/internal/trace"
+)
+
+// runAsm assembles, loads and runs a program, returning the CPU.
+func runAsm(t *testing.T, src string, setup func(*CPU)) *CPU {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCPU()
+	c.LoadProgram(0x1000, prog)
+	if setup != nil {
+		setup(c)
+	}
+	if _, err := c.Run(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestKnownEncodings(t *testing.T) {
+	// Cross-checked against the RISC-V ISA manual / GNU as.
+	cases := []struct {
+		src  string
+		want uint32
+	}{
+		{"addi x1, x2, 10", 0x00a10093},
+		{"add x3, x4, x5", 0x005201b3},
+		{"sub x3, x4, x5", 0x405201b3},
+		{"ld a0, 8(sp)", 0x00813503},
+		{"sd a0, 16(sp)", 0x00a13823},
+		{"lui t0, 0x12345", 0x123452b7},
+		{"jalr x0, 0(ra)", 0x00008067},
+		{"ecall", 0x00000073},
+		{"sraiw a1, a1, 3", 0x4035d59b},
+		{"srai a1, a1, 40", 0x4285d593},
+		{"beq x1, x2, 8", 0x00208463},
+		{"jal ra, 2048", 0x001000ef},
+	}
+	for _, c := range cases {
+		prog, err := Assemble(c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if prog[0] != c.want {
+			t.Errorf("%s = %#08x, want %#08x", c.src, prog[0], c.want)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, src := range []string{
+		"frob x1, x2",        // unknown mnemonic
+		"add x1, x2",         // wrong arity
+		"addi x1, x2, 5000",  // imm out of range
+		"ld a0, 8[sp]",       // bad memory syntax
+		"add q1, x2, x3",     // bad register
+		"beq x1, x2, nosuch", // unknown label is parsed as immediate -> error
+		"dup: nop\ndup: nop", // duplicate label
+		"slli x1, x1, 70",    // shamt out of range
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded", src)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	c := runAsm(t, `
+        li a0, 100
+        li a1, -3
+        add a2, a0, a1     # 97
+        sub a3, a0, a1     # 103
+        slli a4, a0, 4     # 1600
+        srai a5, a1, 1     # -2
+        and a6, a0, a1     # 100 & -3
+        ecall
+    `, nil)
+	if c.X[12] != 97 || c.X[13] != 103 || c.X[14] != 1600 {
+		t.Errorf("a2,a3,a4 = %d,%d,%d", c.X[12], c.X[13], c.X[14])
+	}
+	if int64(c.X[15]) != -2 {
+		t.Errorf("a5 = %d, want -2", int64(c.X[15]))
+	}
+	if c.X[16] != 100&uint64(0xfffffffffffffffd) {
+		t.Errorf("a6 = %#x", c.X[16])
+	}
+}
+
+func TestLargeLi(t *testing.T) {
+	c := runAsm(t, "li a0, 0x12345678\nli a1, -1000000\necall", nil)
+	if c.X[10] != 0x12345678 {
+		t.Errorf("a0 = %#x, want 0x12345678", c.X[10])
+	}
+	if int64(c.X[11]) != -1000000 {
+		t.Errorf("a1 = %d, want -1000000", int64(c.X[11]))
+	}
+}
+
+func TestWordOps(t *testing.T) {
+	c := runAsm(t, `
+        li a0, 0x7fffffff
+        addiw a1, a0, 1       # overflows to -2^31
+        li a2, 1
+        sllw a3, a2, a0       # shift by 31 (mod 32)
+        ecall
+    `, nil)
+	if int64(c.X[11]) != -2147483648 {
+		t.Errorf("addiw overflow = %d", int64(c.X[11]))
+	}
+	if int64(c.X[13]) != -2147483648 {
+		t.Errorf("sllw = %d", int64(c.X[13]))
+	}
+}
+
+func TestX0IsHardwiredZero(t *testing.T) {
+	c := runAsm(t, "li t0, 7\nadd x0, t0, t0\nadd a0, x0, t0\necall", nil)
+	if c.X[0] != 0 {
+		t.Fatal("x0 written")
+	}
+	if c.X[10] != 7 {
+		t.Errorf("a0 = %d, want 7", c.X[10])
+	}
+}
+
+func TestLoadsStoresAndMemory(t *testing.T) {
+	c := runAsm(t, `
+        li t0, 0x2000
+        li a0, -2
+        sd a0, 0(t0)
+        lw a1, 0(t0)         # sign-extended -2
+        lwu a2, 0(t0)        # zero-extended
+        lbu a3, 7(t0)
+        ecall
+    `, nil)
+	if int64(c.X[11]) != -2 {
+		t.Errorf("lw = %d", int64(c.X[11]))
+	}
+	if c.X[12] != 0xfffffffe {
+		t.Errorf("lwu = %#x", c.X[12])
+	}
+	if c.X[13] != 0xff {
+		t.Errorf("lbu = %#x", c.X[13])
+	}
+}
+
+func TestBranchesAndLoops(t *testing.T) {
+	// Sum 1..10 with a loop.
+	c := runAsm(t, `
+        li a0, 0
+        li t0, 1
+        li t1, 11
+loop:   beq t0, t1, done
+        add a0, a0, t0
+        addi t0, t0, 1
+        j loop
+done:   ecall
+    `, nil)
+	if c.X[10] != 55 {
+		t.Errorf("sum = %d, want 55", c.X[10])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	c := runAsm(t, `
+        li a0, 5
+        jal ra, double
+        jal ra, double
+        ecall
+double: add a0, a0, a0
+        ret
+    `, nil)
+	if c.X[10] != 20 {
+		t.Errorf("a0 = %d, want 20", c.X[10])
+	}
+}
+
+func TestVecAddKernel(t *testing.T) {
+	const n = 64
+	var got []trace.Access
+	c := runAsm(t, VecAddProgram(n), func(c *CPU) {
+		for i := 0; i < n; i++ {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], uint64(i))
+			c.WriteMem(KernelABase+uint64(i)*8, buf[:])
+			binary.LittleEndian.PutUint64(buf[:], uint64(100*i))
+			c.WriteMem(KernelBBase+uint64(i)*8, buf[:])
+		}
+		c.SetTracer(func(a trace.Access) { got = append(got, a) })
+	})
+	// Verify results.
+	for i := 0; i < n; i++ {
+		b := c.ReadMem(KernelCBase+uint64(i)*8, 8)
+		if v := binary.LittleEndian.Uint64(b); v != uint64(101*i) {
+			t.Fatalf("c[%d] = %d, want %d", i, v, 101*i)
+		}
+	}
+	// Verify the trace: 2 loads + 1 store per element + final fence.
+	loads, stores, fences := 0, 0, 0
+	for _, a := range got {
+		switch a.Kind {
+		case trace.Load:
+			loads++
+		case trace.Store:
+			stores++
+		case trace.FenceOp:
+			fences++
+		}
+	}
+	if loads != 2*n || stores != n || fences != 1 {
+		t.Errorf("trace = %d loads, %d stores, %d fences", loads, stores, fences)
+	}
+	// Ticks must be monotone.
+	for i := 1; i < len(got); i++ {
+		if got[i].Tick < got[i-1].Tick {
+			t.Fatal("trace ticks not monotone")
+		}
+	}
+}
+
+func TestGatherKernel(t *testing.T) {
+	const n = 32
+	c := runAsm(t, GatherProgram(n), func(c *CPU) {
+		var buf [8]byte
+		for i := 0; i < 256; i++ {
+			binary.LittleEndian.PutUint64(buf[:], uint64(i*i))
+			c.WriteMem(KernelABase+uint64(i)*8, buf[:])
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[:], uint64((i*37)%256))
+			c.WriteMem(KernelBBase+uint64(i)*8, buf[:])
+		}
+	})
+	for i := 0; i < n; i++ {
+		idx := uint64((i * 37) % 256)
+		b := c.ReadMem(KernelCBase+uint64(i)*8, 8)
+		if v := binary.LittleEndian.Uint64(b); v != idx*idx {
+			t.Fatalf("c[%d] = %d, want %d", i, v, idx*idx)
+		}
+	}
+}
+
+func TestReduceKernel(t *testing.T) {
+	const n = 100
+	c := runAsm(t, ReduceProgram(n), func(c *CPU) {
+		var buf [8]byte
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[:], uint64(i))
+			c.WriteMem(KernelABase+uint64(i)*8, buf[:])
+		}
+	})
+	if c.X[10] != 4950 {
+		t.Errorf("sum = %d, want 4950", c.X[10])
+	}
+}
+
+func TestRunHaltsAndCounts(t *testing.T) {
+	prog := MustAssemble("nop\nnop\necall")
+	c := NewCPU()
+	c.LoadProgram(0, prog)
+	steps, err := c.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 3 || !c.Halted() {
+		t.Errorf("steps = %d halted = %v", steps, c.Halted())
+	}
+	if _, err := c.Run(1); err != nil {
+		t.Error("Run on halted hart errored (should be 0 steps, nil)")
+	}
+	if err := c.Step(); err == nil {
+		t.Error("Step on halted hart succeeded")
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	prog := MustAssemble("loop: j loop")
+	c := NewCPU()
+	c.LoadProgram(0, prog)
+	if _, err := c.Run(1000); err == nil {
+		t.Fatal("infinite loop did not report timeout")
+	}
+}
+
+func TestIllegalInstruction(t *testing.T) {
+	c := NewCPU()
+	c.LoadProgram(0, []uint32{0xffffffff})
+	if err := c.Step(); err == nil {
+		t.Fatal("illegal instruction executed")
+	}
+}
+
+func TestFenceTracesEvent(t *testing.T) {
+	var fences int
+	c := NewCPU()
+	c.SetTracer(func(a trace.Access) {
+		if a.Kind == trace.FenceOp {
+			fences++
+		}
+	})
+	c.LoadProgram(0, MustAssemble("fence\necall"))
+	if _, err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if fences != 1 {
+		t.Errorf("fences = %d, want 1", fences)
+	}
+}
+
+func TestHartAndCycleStamping(t *testing.T) {
+	var got []trace.Access
+	c := NewCPU()
+	c.Hart = 5
+	c.InstrTicks = 3
+	c.SetTracer(func(a trace.Access) { got = append(got, a) })
+	c.LoadProgram(0, MustAssemble("li t0, 0x2000\nld a0, 0(t0)\necall"))
+	if _, err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].CPU != 5 {
+		t.Fatalf("trace = %+v", got)
+	}
+	if got[0].Tick != 3 { // one li retired before the load
+		t.Errorf("tick = %d, want 3", got[0].Tick)
+	}
+}
+
+func TestRV64MArithmetic(t *testing.T) {
+	c := runAsm(t, `
+        li a0, -7
+        li a1, 3
+        mul a2, a0, a1       # -21
+        div a3, a0, a1       # -2 (trunc toward zero)
+        rem a4, a0, a1       # -1
+        divu a5, a0, a1      # huge / 3
+        li t0, 0
+        div a6, a0, t0       # div by zero → -1
+        rem a7, a0, t0       # rem by zero → dividend
+        ecall
+    `, nil)
+	if int64(c.X[12]) != -21 {
+		t.Errorf("mul = %d", int64(c.X[12]))
+	}
+	if int64(c.X[13]) != -2 {
+		t.Errorf("div = %d", int64(c.X[13]))
+	}
+	if int64(c.X[14]) != -1 {
+		t.Errorf("rem = %d", int64(c.X[14]))
+	}
+	if c.X[15] != (^uint64(6))/3 {
+		t.Errorf("divu = %d, want %d", c.X[15], (^uint64(6))/3)
+	}
+	if c.X[16] != ^uint64(0) {
+		t.Errorf("div by zero = %#x, want all ones", c.X[16])
+	}
+	if int64(c.X[17]) != -7 {
+		t.Errorf("rem by zero = %d, want dividend", int64(c.X[17]))
+	}
+}
+
+func TestRV64MHighMultiply(t *testing.T) {
+	c := runAsm(t, `
+        li a0, -1
+        li a1, -1
+        mulh a2, a0, a1      # (-1)*(-1) = 1 → high 0
+        mulhu a3, a0, a1     # max*max → high = ~1 = 0xfffffffffffffffe
+        mulhsu a4, a0, a1    # -1 * max unsigned → high = -1
+        ecall
+    `, nil)
+	if c.X[12] != 0 {
+		t.Errorf("mulh = %#x, want 0", c.X[12])
+	}
+	if c.X[13] != 0xfffffffffffffffe {
+		t.Errorf("mulhu = %#x", c.X[13])
+	}
+	if int64(c.X[14]) != -1 {
+		t.Errorf("mulhsu = %d, want -1", int64(c.X[14]))
+	}
+}
+
+func TestRV64MWordForms(t *testing.T) {
+	c := runAsm(t, `
+        li a0, 100000
+        li a1, 100000
+        mulw a2, a0, a1      # 10^10 truncated to 32 bits, sign-extended
+        li a3, -10
+        li a4, 3
+        divw a5, a3, a4      # -3
+        remw a6, a3, a4      # -1
+        ecall
+    `, nil)
+	want := int64(int32(uint32(10000000000 & 0xffffffff)))
+	if int64(c.X[12]) != want {
+		t.Errorf("mulw = %d, want %d", int64(c.X[12]), want)
+	}
+	if int64(c.X[15]) != -3 || int64(c.X[16]) != -1 {
+		t.Errorf("divw/remw = %d/%d", int64(c.X[15]), int64(c.X[16]))
+	}
+}
+
+func TestSpMVKernel(t *testing.T) {
+	// 3×3 matrix in CSR:
+	//   [2 0 1]      x = [1 2 3]ᵀ
+	//   [0 3 0]  →   y = [5, 6, 28]
+	//   [4 0 8]
+	vals := []uint64{2, 1, 3, 4, 8}
+	cols := []uint64{0, 2, 1, 0, 2}
+	rowPtr := []uint64{0, 2, 3, 5}
+	x := []uint64{1, 2, 3}
+	c := runAsm(t, SpMVProgram(3), func(c *CPU) {
+		var buf [8]byte
+		put := func(base uint64, vs []uint64) {
+			for i, v := range vs {
+				binary.LittleEndian.PutUint64(buf[:], v)
+				c.WriteMem(base+uint64(i)*8, buf[:])
+			}
+		}
+		put(KernelABase, vals)
+		put(KernelBBase, cols)
+		put(KernelPBase, rowPtr)
+		put(KernelXBase, x)
+	})
+	want := []uint64{5, 6, 28}
+	for i, w := range want {
+		got := binary.LittleEndian.Uint64(c.ReadMem(KernelCBase+uint64(i)*8, 8))
+		if got != w {
+			t.Errorf("y[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestKnownMEncodings(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint32
+	}{
+		{"mul a0, a1, a2", 0x02c58533},
+		{"div a0, a1, a2", 0x02c5c533},
+		{"remu a0, a1, a2", 0x02c5f533},
+		{"mulw a0, a1, a2", 0x02c5853b},
+	}
+	for _, c := range cases {
+		prog, err := Assemble(c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if prog[0] != c.want {
+			t.Errorf("%s = %#08x, want %#08x", c.src, prog[0], c.want)
+		}
+	}
+}
+
+func TestDisassembleKnown(t *testing.T) {
+	cases := []struct {
+		ins  uint32
+		want string
+	}{
+		{0x00a10093, "addi ra, sp, 10"},
+		{0x005201b3, "add gp, tp, t0"},
+		{0x00813503, "ld a0, 8(sp)"},
+		{0x00a13823, "sd a0, 16(sp)"},
+		{0x00000073, "ecall"},
+		{0x0ff0000f, "fence"},
+		{0x4035d59b, "sraiw a1, a1, 3"},
+		{0xffffffff, ".word 0xffffffff"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.ins); got != c.want {
+			t.Errorf("Disassemble(%#08x) = %q, want %q", c.ins, got, c.want)
+		}
+	}
+}
+
+// TestAsmDisasmRoundTrip re-assembles the disassembly of every instruction
+// in the built-in kernels and checks it encodes identically.
+func TestAsmDisasmRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		VecAddProgram(16), VecAddUnrolledProgram(16), GatherProgram(16),
+		ReduceProgram(16), SpMVProgram(4),
+	} {
+		prog := MustAssemble(src)
+		for i, ins := range prog {
+			text := Disassemble(ins)
+			if strings.HasPrefix(text, ".word") {
+				t.Fatalf("instruction %d (%#08x) not disassemblable", i, ins)
+			}
+			re, err := Assemble(text)
+			if err != nil {
+				t.Fatalf("reassemble %q: %v", text, err)
+			}
+			if re[0] != ins {
+				t.Fatalf("round trip %q: %#08x → %#08x", text, ins, re[0])
+			}
+		}
+	}
+}
+
+func TestDisassembleAll(t *testing.T) {
+	out := DisassembleAll(MustAssemble("nop\necall"), 0x1000)
+	if !strings.Contains(out, "1000:") || !strings.Contains(out, "ecall") {
+		t.Errorf("DisassembleAll:\n%s", out)
+	}
+}
+
+func TestRunHarts(t *testing.T) {
+	prog := MustAssemble(VecAddProgram(32))
+	specs := make([]HartSpec, 3)
+	for i := range specs {
+		specs[i] = HartSpec{
+			Program:    prog,
+			LoadAddr:   0x1000,
+			AddrOffset: uint64(i) << 30,
+			InstrTicks: 2,
+			Setup: func(c *CPU) {
+				var buf [8]byte
+				for j := 0; j < 32; j++ {
+					binary.LittleEndian.PutUint64(buf[:], uint64(j))
+					c.WriteMem(KernelABase+uint64(j)*8, buf[:])
+					c.WriteMem(KernelBBase+uint64(j)*8, buf[:])
+				}
+			},
+		}
+	}
+	accs, err := RunHarts(specs, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(accs); err != nil {
+		t.Fatal(err)
+	}
+	perHart := map[uint8]int{}
+	for _, a := range accs {
+		perHart[a.CPU]++
+		if a.Kind != trace.FenceOp && a.Addr>>30 != uint64(a.CPU) {
+			t.Fatalf("hart %d access at %#x outside its region", a.CPU, a.Addr)
+		}
+	}
+	if len(perHart) != 3 {
+		t.Fatalf("harts in trace = %d, want 3", len(perHart))
+	}
+}
+
+func TestRunHartsErrors(t *testing.T) {
+	if _, err := RunHarts(nil, 100); err == nil {
+		t.Error("empty spec list accepted")
+	}
+	bad := []HartSpec{{Program: MustAssemble("loop: j loop"), LoadAddr: 0}}
+	if _, err := RunHarts(bad, 100); err == nil {
+		t.Error("non-halting hart not reported")
+	}
+}

@@ -1,0 +1,106 @@
+package riscv
+
+import (
+	"testing"
+
+	"hmccoal/internal/trace"
+)
+
+// TestInstructionSemantics drives each instruction through the emulator
+// with edge-case operands and checks the architectural result in a0.
+// Programs set up operands with li, run one instruction under test, move
+// the result to a0 and halt.
+func TestInstructionSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want uint64
+	}{
+		// Comparisons.
+		{"slt_true", "li t0, -5\nli t1, 3\nslt a0, t0, t1\necall", 1},
+		{"slt_false", "li t0, 3\nli t1, -5\nslt a0, t0, t1\necall", 0},
+		{"sltu_wraps", "li t0, -5\nli t1, 3\nsltu a0, t0, t1\necall", 0}, // -5 is huge unsigned
+		{"slti", "li t0, -5\nslti a0, t0, -4\necall", 1},
+		{"sltiu_minus_one", "li t0, 5\nsltiu a0, t0, -1\necall", 1}, // imm sign-extends to max
+		// Logic.
+		{"xor", "li t0, 0xff\nli t1, 0x0f\nxor a0, t0, t1\necall", 0xf0},
+		{"xori", "li t0, 0xff\nxori a0, t0, 0x0f\necall", 0xf0},
+		{"or", "li t0, 0xf0\nli t1, 0x0f\nor a0, t0, t1\necall", 0xff},
+		{"ori", "li t0, 0xf0\nori a0, t0, 0x0f\necall", 0xff},
+		{"andi", "li t0, 0xff\nandi a0, t0, 0x3c\necall", 0x3c},
+		// Shifts with register amounts (mod 64).
+		{"sll_mod64", "li t0, 1\nli t1, 65\nsll a0, t0, t1\necall", 2},
+		{"srl", "li t0, 16\nli t1, 2\nsrl a0, t0, t1\necall", 4},
+		{"sra_negative", "li t0, -16\nli t1, 2\nsra a0, t0, t1\necall", uint64(0xfffffffffffffffc)},
+		{"srli_logical", "li t0, -1\nsrli a0, t0, 60\necall", 0xf},
+		// Upper immediates.
+		{"lui_sign", "lui a0, 0x80000\necall", uint64(0xffffffff80000000)},
+		{"auipc", "auipc a0, 0\necall", 0x1000}, // load address of first instruction
+		// Sub-word memory with sign/zero extension.
+		{"lb_sign", "li t0, 0x2000\nli t1, 0x80\nsb t1, 0(t0)\nlb a0, 0(t0)\necall", uint64(0xffffffffffffff80)},
+		{"lh_sign", "li t0, 0x2000\nli t1, 0x8000\nsh t1, 0(t0)\nlh a0, 0(t0)\necall", uint64(0xffffffffffff8000)},
+		{"lhu", "li t0, 0x2000\nli t1, 0x8000\nsh t1, 0(t0)\nlhu a0, 0(t0)\necall", 0x8000},
+		{"sb_truncates", "li t0, 0x2000\nli t1, 0x1ff\nsb t1, 0(t0)\nlbu a0, 0(t0)\necall", 0xff},
+		// Branches: each taken and not taken.
+		{"bne_taken", "li a0, 1\nli t0, 2\nli t1, 3\nbne t0, t1, over\nli a0, 0\nover: ecall", 1},
+		{"bne_nottaken", "li a0, 1\nli t0, 3\nli t1, 3\nbne t0, t1, over\nli a0, 0\nover: ecall", 0},
+		{"blt_signed", "li a0, 1\nli t0, -1\nli t1, 0\nblt t0, t1, over\nli a0, 0\nover: ecall", 1},
+		{"bltu_unsigned", "li a0, 1\nli t0, -1\nli t1, 0\nbltu t0, t1, over\nli a0, 0\nover: ecall", 0},
+		{"bge", "li a0, 1\nli t0, 5\nli t1, 5\nbge t0, t1, over\nli a0, 0\nover: ecall", 1},
+		{"bgeu_wrap", "li a0, 1\nli t0, -1\nli t1, 1\nbgeu t0, t1, over\nli a0, 0\nover: ecall", 1},
+		// Word ops sign-extend their 32-bit results.
+		{"addw_wrap", "li t0, 0x7fffffff\nli t1, 1\naddw a0, t0, t1\necall", uint64(0xffffffff80000000)},
+		{"subw", "li t0, 0\nli t1, 1\nsubw a0, t0, t1\necall", uint64(0xffffffffffffffff)},
+		{"srlw_zeroext_then_signext", "li t0, -1\nli t1, 4\nsrlw a0, t0, t1\necall", 0x0fffffff},
+		{"sraw", "li t0, -64\nli t1, 4\nsraw a0, t0, t1\necall", uint64(0xfffffffffffffffc)},
+		{"slliw_overflow", "li t0, 1\nslliw a0, t0, 31\necall", uint64(0xffffffff80000000)},
+		{"srliw", "li t0, -1\nsrliw a0, t0, 28\necall", 0xf},
+		// Jumps link the return address.
+		{"jalr_link", "li t0, 0x1014\njalr a0, 0(t0)\nnop\nnop\nnop\necall", 0x100c},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cpu := runAsm(t, c.src, nil)
+			if cpu.X[10] != c.want {
+				t.Errorf("a0 = %#x, want %#x", cpu.X[10], c.want)
+			}
+		})
+	}
+}
+
+// TestJALRClearsLowBit checks the ISA rule that the jump target's bit 0 is
+// cleared.
+func TestJALRClearsLowBit(t *testing.T) {
+	cpu := runAsm(t, "li t0, 0x1011\njalr a0, 0(t0)\nnop\nli a1, 7\necall", nil)
+	// li expands to lui+addiw, so `li a1, 7` sits at 0x1010;
+	// target 0x1011 &^ 1 = 0x1010 reaches it only if bit 0 is cleared.
+	if cpu.X[11] != 7 {
+		t.Errorf("a1 = %d, want 7 (jalr must clear bit 0)", cpu.X[11])
+	}
+}
+
+// TestFenceOrderingInTrace: the fence event appears between the stores
+// before it and the loads after it.
+func TestFenceOrderingInTrace(t *testing.T) {
+	var kinds []string
+	cpu := NewCPU()
+	cpu.SetTracer(func(a trace.Access) { kinds = append(kinds, a.Kind.String()) })
+	cpu.LoadProgram(0, MustAssemble(`
+        li t0, 0x2000
+        sd t0, 0(t0)
+        fence
+        ld a0, 0(t0)
+        ecall`))
+	if _, err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"S", "F", "L"}
+	if len(kinds) != 3 {
+		t.Fatalf("trace kinds = %v", kinds)
+	}
+	for i, w := range want {
+		if kinds[i] != w {
+			t.Fatalf("trace order = %v, want %v", kinds, want)
+		}
+	}
+}

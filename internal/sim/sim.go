@@ -1,0 +1,567 @@
+// Package sim is the full-system simulator: trace-driven CPUs, the cache
+// hierarchy, the memory coalescer (or the conventional MSHR baseline) and
+// the HMC device, with end-to-end runtime accounting. It produces every
+// metric behind the paper's evaluation figures (8–15).
+//
+// The execution model: each core replays its access trace; hit latencies
+// are hidden by the out-of-order pipeline, but a core stalls when it
+// exceeds its miss-level-parallelism budget (MaxOutstanding demand misses)
+// or at a fence, and resumes when responses return through the
+// coalescer/MSHR path. The run's wall-clock is the tick at which the last
+// response lands after the trace drains.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+
+	"hmccoal/internal/cache"
+	"hmccoal/internal/coalescer"
+	"hmccoal/internal/hmc"
+	"hmccoal/internal/mshr"
+	"hmccoal/internal/trace"
+)
+
+// Mode selects the miss-handling architecture under test (Figure 8).
+type Mode int
+
+// Evaluation modes.
+const (
+	// Baseline is the conventional MHA: MSHR-based coalescing only, fixed
+	// 64 B requests (the paper's comparison point, and Figure 8's
+	// "MSHR-based" series).
+	Baseline Mode = iota
+	// DMCOnly enables the sorting network and DMC unit but disables MSHR
+	// merging (Figure 8's "DMC unit" series).
+	DMCOnly
+	// TwoPhase is the full memory coalescer.
+	TwoPhase
+)
+
+// String names the mode as in Figure 8.
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "MSHR-based"
+	case DMCOnly:
+		return "DMC-only"
+	case TwoPhase:
+		return "two-phase"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config assembles the simulated system.
+type Config struct {
+	Hierarchy cache.HierarchyConfig
+	Coalescer coalescer.Config
+	HMC       hmc.Config
+	// ClockGHz converts cycles to nanoseconds (paper: 3.3).
+	ClockGHz float64
+	// MaxOutstanding is the per-core demand-miss budget before the core
+	// stalls (miss-level parallelism of the out-of-order window).
+	MaxOutstanding int
+	// Mode selects the miss-handling architecture.
+	Mode Mode
+}
+
+// DefaultConfig returns the paper's evaluation system: 12 CPUs at 3.3 GHz,
+// 16 LLC MSHRs, 8 GB HMC with 256 B blocks, full two-phase coalescer.
+func DefaultConfig() Config {
+	return Config{
+		Hierarchy:      cache.DefaultHierarchyConfig(),
+		Coalescer:      coalescer.DefaultConfig(),
+		HMC:            hmc.DefaultConfig(),
+		ClockGHz:       3.3,
+		MaxOutstanding: 16,
+		Mode:           TwoPhase,
+	}
+}
+
+func (c Config) withMode() Config {
+	switch c.Mode {
+	case Baseline:
+		c.Coalescer.FirstPhase = false
+		c.Coalescer.SecondPhase = true
+	case DMCOnly:
+		c.Coalescer.FirstPhase = true
+		c.Coalescer.SecondPhase = false
+	case TwoPhase:
+		c.Coalescer.FirstPhase = true
+		c.Coalescer.SecondPhase = true
+	}
+	return c
+}
+
+// Result carries everything a run produced.
+type Result struct {
+	// RuntimeCycles is the end-to-end wall clock of the run.
+	RuntimeCycles uint64
+	// LLCMisses is the number of requests that left the LLC (including
+	// write-backs); HMCRequests is how many reached the device.
+	LLCMisses   uint64
+	HMCRequests uint64
+	// StallCycles sums core stall time (MLP limit + fences).
+	StallCycles uint64
+
+	Coalescer coalescer.Stats
+	MSHR      struct {
+		Allocations, MergedTargets, SplitRequests, FullStalls uint64
+	}
+	HMC hmc.Stats
+	LLC cache.Stats
+	L1  cache.Stats
+	L2  cache.Stats
+
+	// ClockGHz echoes the configuration for ns conversions.
+	ClockGHz float64
+	// LineBytes echoes the cache line size for raw-traffic pricing.
+	LineBytes uint32
+}
+
+// CoalescingEfficiency is the Figure 8 metric.
+func (r Result) CoalescingEfficiency() float64 {
+	if r.LLCMisses == 0 {
+		return 0
+	}
+	return 1 - float64(r.HMCRequests)/float64(r.LLCMisses)
+}
+
+// RawTransferredBytes is the traffic the conventional MHA would move for
+// the same miss stream: one line-sized packet plus 32 B control per LLC
+// request.
+func (r Result) RawTransferredBytes() uint64 {
+	return r.LLCMisses * (uint64(r.LineBytes) + hmc.ControlBytes)
+}
+
+// RawBandwidthEfficiency is Figure 9's "raw" series: useful payload over
+// the conventional fixed-64 B transfer volume.
+func (r Result) RawBandwidthEfficiency() float64 {
+	raw := r.RawTransferredBytes()
+	if raw == 0 {
+		return 0
+	}
+	return float64(r.Coalescer.PayloadBytes) / float64(raw)
+}
+
+// CoalescedBandwidthEfficiency is Figure 9's "coalesced" series (Equation 1
+// over the actual device traffic).
+func (r Result) CoalescedBandwidthEfficiency() float64 {
+	if r.HMC.TransferredBytes == 0 {
+		return 0
+	}
+	return float64(r.Coalescer.PayloadBytes) / float64(r.HMC.TransferredBytes)
+}
+
+// BandwidthSavedBytes is Figure 11's metric: traffic avoided versus the
+// conventional MHA.
+func (r Result) BandwidthSavedBytes() int64 {
+	return int64(r.RawTransferredBytes()) - int64(r.HMC.TransferredBytes)
+}
+
+// RuntimeNs converts the wall clock to nanoseconds.
+func (r Result) RuntimeNs() float64 {
+	if r.ClockGHz <= 0 {
+		return 0
+	}
+	return float64(r.RuntimeCycles) / r.ClockGHz
+}
+
+// System is a runnable simulated machine.
+type System struct {
+	cfg       Config
+	hierarchy *cache.Hierarchy
+	device    *hmc.Device
+	coal      *coalescer.Coalescer
+
+	outstanding []int    // demand misses in flight per CPU
+	nextToken   uint64   // demand-miss token allocator
+	tokenCPU    []uint8  // token → CPU (ring; tokens complete in bounded time)
+	tokenLine   []uint64 // token → line, for outstanding-line bookkeeping
+	stall       []uint64 // accumulated stall per CPU
+	pushedTok   uint64   // demand tokens handed to the coalescer
+	doneTok     uint64   // demand tokens returned by completions
+
+	// fetching tracks cache lines whose fill is still in flight. The tag
+	// arrays install lines instantly (internal/cache), but until the
+	// response returns, a core touching such a line has really produced
+	// another LLC miss — the misses that conventional MSHR coalescing
+	// absorbs as subentries. The simulator regenerates them so the
+	// Figure 8 MSHR-based series is faithful: always for other cores, and
+	// for the fetching core itself only once the touch comes from a later
+	// instruction window (earlier touches are deduplicated by the core's
+	// private L1 MSHR subentries and never reach the LLC).
+	fetching map[uint64]fetchInfo
+}
+
+// fetchInfo records who started an outstanding line fill and when.
+type fetchInfo struct {
+	token uint64
+	cpu   uint8
+	tick  uint64
+}
+
+// sameCoreWindow is the span, in cycles, within which a core's repeat
+// touches to a line it is already fetching stay inside its own L1 MSHR
+// (one out-of-order instruction window).
+const sameCoreWindow = 48
+
+const writeBackToken = ^uint64(0)
+
+// NewSystem builds a system from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withMode()
+	if cfg.ClockGHz <= 0 {
+		return nil, fmt.Errorf("sim: clock %v GHz invalid", cfg.ClockGHz)
+	}
+	if cfg.MaxOutstanding <= 0 {
+		return nil, fmt.Errorf("sim: MaxOutstanding must be positive")
+	}
+	h, err := cache.NewHierarchy(cfg.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Coalescer.LineBytes != cfg.Hierarchy.LLC.LineBytes {
+		return nil, fmt.Errorf("sim: coalescer line size %d != LLC line size %d",
+			cfg.Coalescer.LineBytes, cfg.Hierarchy.LLC.LineBytes)
+	}
+	d, err := hmc.NewDevice(cfg.HMC)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:         cfg,
+		hierarchy:   h,
+		device:      d,
+		outstanding: make([]int, cfg.Hierarchy.CPUs),
+		stall:       make([]uint64, cfg.Hierarchy.CPUs),
+	}
+	lineBytes := uint64(cfg.Coalescer.LineBytes)
+	c, err := coalescer.New(cfg.Coalescer,
+		func(tick uint64, e *mshr.Entry) uint64 {
+			packet := uint32(e.Lines()) * cfg.Coalescer.LineBytes
+			requested := uint32(e.Payload())
+			if requested > packet {
+				requested = packet
+			}
+			done, err := d.Submit(tick, hmc.Request{
+				Addr:           e.BaseLine() * lineBytes,
+				PacketBytes:    packet,
+				RequestedBytes: requested,
+				Write:          e.Write(),
+			})
+			if err != nil {
+				panic(fmt.Sprintf("sim: illegal HMC request from coalescer: %v", err))
+			}
+			return done
+		},
+		func(tick uint64, subs []mshr.Sub) {
+			for _, sub := range subs {
+				if sub.Token == writeBackToken {
+					continue
+				}
+				idx := sub.Token % uint64(len(s.tokenCPU))
+				s.outstanding[s.tokenCPU[idx]]--
+				s.doneTok++
+				// The line's fill has arrived; it is no longer outstanding.
+				if line := s.tokenLine[idx]; s.fetching[line].token == sub.Token {
+					delete(s.fetching, line)
+				}
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	s.coal = c
+	// Token ring: bounded by the maximum number of simultaneously live
+	// demand misses (MLP budget × CPUs, plus coalescer buffering slack).
+	ring := (cfg.MaxOutstanding + cfg.Coalescer.Width + cfg.Coalescer.MSHR.Entries*8) * cfg.Hierarchy.CPUs
+	s.tokenCPU = make([]uint8, ring)
+	s.tokenLine = make([]uint64, ring)
+	s.fetching = make(map[uint64]fetchInfo)
+	return s, nil
+}
+
+// Config returns the (mode-resolved) system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Run replays the trace to completion and returns the run's metrics. The
+// trace must be ordered by tick (as produced by internal/workloads). A
+// System is single-use: build a fresh one per run.
+//
+// Run interleaves two event sources in global time order: the per-CPU
+// access cursors (merged through a heap on effective issue tick) and the
+// memory system's own events (timeouts, packet readiness, responses). A
+// core that exhausts its MLP budget or waits on a fence is parked and
+// re-armed by memory progress; crucially the memory system is never
+// advanced past a runnable core's next access, so causality holds.
+func (s *System) Run(accs []trace.Access) (Result, error) {
+	streams := make([][]trace.Access, s.cfg.Hierarchy.CPUs)
+	for _, a := range accs {
+		if int(a.CPU) >= len(streams) {
+			return Result{}, fmt.Errorf("sim: access from CPU %d, system has %d", a.CPU, len(streams))
+		}
+		streams[a.CPU] = append(streams[a.CPU], a)
+	}
+	var cursors cursorHeap
+	for cpu, st := range streams {
+		if len(st) > 0 {
+			cursors = append(cursors, cursor{tick: st[0].Tick, cpu: uint8(cpu)})
+		}
+	}
+	heap.Init(&cursors)
+	pos := make([]int, len(streams))
+	type parkedCPU struct {
+		tick  uint64 // when it parked (stall start)
+		fence bool   // waiting for outstanding == 0 rather than < budget
+	}
+	parked := map[uint8]parkedCPU{}
+	fenceSignaled := make([]bool, len(streams))
+	var last uint64
+
+	// wake moves parked CPUs whose condition now holds back into the
+	// cursor heap at the wake tick.
+	wake := func(now uint64) {
+		for cpu, p := range parked {
+			ready := (p.fence && s.outstanding[cpu] == 0) ||
+				(!p.fence && s.outstanding[cpu] < s.cfg.MaxOutstanding)
+			if !ready {
+				continue
+			}
+			if now > p.tick {
+				s.stall[cpu] += now - p.tick
+			}
+			t := p.tick
+			if now > t {
+				t = now
+			}
+			heap.Push(&cursors, cursor{tick: t, cpu: cpu})
+			delete(parked, cpu)
+		}
+	}
+
+	for cursors.Len() > 0 || len(parked) > 0 {
+		memTick, memOK := s.coal.NextEvent()
+
+		// With no runnable CPU, only memory progress can unpark one.
+		if cursors.Len() == 0 {
+			if !memOK {
+				cpu, p := anyParked(parked)
+				pend, crq := s.coal.QueueDepths()
+				return Result{}, fmt.Errorf(
+					"sim: deadlock: CPU %d parked (fence=%v) at %d with no memory events; outstanding=%v tokens=%d/%d pending=%d crq=%d: %s",
+					cpu, p.fence, p.tick, s.outstanding, s.doneTok, s.pushedTok, pend, crq, s.coal.DebugState())
+			}
+			s.coal.Advance(memTick)
+			if memTick > last {
+				last = memTick
+			}
+			wake(memTick)
+			continue
+		}
+
+		cur := cursors[0]
+		if memOK && memTick <= cur.tick {
+			// Memory events due before the next access: deliver them first.
+			s.coal.Advance(memTick)
+			wake(memTick)
+			continue
+		}
+
+		cpu := cur.cpu
+		a := streams[cpu][pos[cpu]]
+		effTick := cur.tick
+
+		switch {
+		case a.Kind == trace.FenceOp:
+			// Fence: flush the coalescer (once); the core parks until its
+			// outstanding demand misses retire.
+			if !fenceSignaled[cpu] {
+				s.coal.Fence(effTick)
+				fenceSignaled[cpu] = true
+			}
+			if s.outstanding[cpu] > 0 {
+				heap.Pop(&cursors)
+				parked[cpu] = parkedCPU{tick: effTick, fence: true}
+				continue // cursor not advanced past the fence yet
+			}
+			fenceSignaled[cpu] = false
+		case s.outstanding[cpu] >= s.cfg.MaxOutstanding:
+			// MLP budget exhausted: park until a response frees a slot.
+			heap.Pop(&cursors)
+			parked[cpu] = parkedCPU{tick: effTick}
+			continue
+		default:
+			s.coal.Advance(effTick)
+			_, misses := s.hierarchy.Access(trace.Access{
+				Addr: a.Addr, Size: a.Size, Kind: a.Kind, CPU: a.CPU, Tick: effTick,
+			})
+			var missedLines [8]uint64 // lines missed by THIS access (small fixed buffer)
+			nMissed := 0
+			for _, m := range misses {
+				tok := writeBackToken
+				if !m.WriteBack {
+					tok = s.newToken(m.CPU, m.Line)
+					// Register the fill as outstanding until its response.
+					s.fetching[m.Line] = fetchInfo{token: tok, cpu: m.CPU, tick: effTick}
+					if nMissed < len(missedLines) {
+						missedLines[nMissed] = m.Line
+						nMissed++
+					}
+				}
+				s.coal.Push(effTick, coalescer.Request{
+					Line:    m.Line,
+					Write:   m.Write,
+					Payload: m.Payload,
+					Token:   tok,
+				})
+			}
+			// Lines this access touched that hit the tag arrays but whose
+			// fill is still in flight are additional LLC misses in a real
+			// machine — when they come from a different core. (Same-core
+			// re-touches are absorbed by that core's private L1 MSHR
+			// subentries and never reach the LLC.) Regenerate them so they
+			// can merge in the shared MSHRs, as conventional MSHR-based
+			// coalescing does.
+			lineBytes := uint64(s.cfg.Hierarchy.LLC.LineBytes)
+			firstLn := a.Addr / lineBytes
+			lastLn := (a.End() - 1) / lineBytes
+			for ln := firstLn; ln <= lastLn; ln++ {
+				fresh := false
+				for i := 0; i < nMissed; i++ {
+					if missedLines[i] == ln {
+						fresh = true
+						break
+					}
+				}
+				if fresh {
+					continue
+				}
+				fi, busy := s.fetching[ln]
+				if !busy {
+					continue
+				}
+				if fi.cpu == a.CPU && effTick-fi.tick <= sameCoreWindow {
+					continue
+				}
+				lo, hi := ln*lineBytes, (ln+1)*lineBytes
+				if a.Addr > lo {
+					lo = a.Addr
+				}
+				if a.End() < hi {
+					hi = a.End()
+				}
+				tok := s.newToken(a.CPU, ln)
+				s.coal.Push(effTick, coalescer.Request{
+					Line:    ln,
+					Write:   a.Kind == trace.Store,
+					Payload: uint32(hi - lo),
+					Token:   tok,
+				})
+			}
+		}
+		if effTick > last {
+			last = effTick
+		}
+
+		// Advance this CPU's cursor, carrying its accumulated delay.
+		delay := effTick - a.Tick
+		pos[cpu]++
+		if pos[cpu] < len(streams[cpu]) {
+			cursors[0].tick = streams[cpu][pos[cpu]].Tick + delay
+			heap.Fix(&cursors, 0)
+		} else {
+			heap.Pop(&cursors)
+		}
+	}
+
+	idle := s.coal.Drain(last)
+	if s.doneTok != s.pushedTok {
+		return Result{}, fmt.Errorf("sim: token conservation broken: %d pushed, %d completed", s.pushedTok, s.doneTok)
+	}
+
+	res := Result{
+		RuntimeCycles: idle,
+		Coalescer:     s.coal.Stats(),
+		HMC:           s.device.Stats(),
+		LLC:           s.hierarchy.LLCStats(),
+		ClockGHz:      s.cfg.ClockGHz,
+		LineBytes:     s.cfg.Coalescer.LineBytes,
+	}
+	res.L1, res.L2 = s.hierarchy.LevelStats()
+	ms := s.coal.MSHRStats()
+	res.MSHR.Allocations = ms.Allocations
+	res.MSHR.MergedTargets = ms.MergedTargets
+	res.MSHR.SplitRequests = ms.SplitRequests
+	res.MSHR.FullStalls = ms.FullStalls
+	res.LLCMisses = res.Coalescer.Requests
+	res.HMCRequests = res.Coalescer.HMCRequests
+	for _, st := range s.stall {
+		res.StallCycles += st
+	}
+	return res, nil
+}
+
+// newToken allocates a demand-miss token for cpu waiting on line.
+func (s *System) newToken(cpu uint8, line uint64) uint64 {
+	tok := s.nextToken % uint64(len(s.tokenCPU))
+	s.nextToken++
+	s.tokenCPU[tok] = cpu
+	s.tokenLine[tok] = line
+	s.outstanding[cpu]++
+	s.pushedTok++
+	return tok
+}
+
+// anyParked returns an arbitrary parked CPU for error reporting.
+func anyParked[V any](m map[uint8]V) (uint8, V) {
+	for k, v := range m {
+		return k, v
+	}
+	var zero V
+	return 0, zero
+}
+
+// cursor orders per-CPU trace positions by effective issue tick.
+type cursor struct {
+	tick uint64
+	cpu  uint8
+}
+
+type cursorHeap []cursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	if h[i].tick != h[j].tick {
+		return h[i].tick < h[j].tick
+	}
+	return h[i].cpu < h[j].cpu
+}
+func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(cursor)) }
+func (h *cursorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// Summary renders the run's key metrics as a human-readable block.
+func (r Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runtime                %12.1f µs (%d cycles)\n", r.RuntimeNs()/1000, r.RuntimeCycles)
+	fmt.Fprintf(&b, "LLC requests           %12d (misses+write-backs)\n", r.LLCMisses)
+	fmt.Fprintf(&b, "HMC requests           %12d\n", r.HMCRequests)
+	fmt.Fprintf(&b, "coalescing efficiency  %11.2f%%\n", 100*r.CoalescingEfficiency())
+	fmt.Fprintf(&b, "  first-phase merges   %12d\n", r.Coalescer.FirstPhaseMerges)
+	fmt.Fprintf(&b, "  second-phase merges  %12d\n", r.MSHR.MergedTargets)
+	fmt.Fprintf(&b, "  bypassed             %12d\n", r.Coalescer.Bypassed)
+	fmt.Fprintf(&b, "transferred            %12.2f MB (%.2f MB control)\n",
+		float64(r.HMC.TransferredBytes)/1e6, float64(r.HMC.ControlBytes())/1e6)
+	fmt.Fprintf(&b, "bandwidth efficiency   %11.2f%% (device, Equation 1)\n", 100*r.HMC.BandwidthEfficiency())
+	fmt.Fprintf(&b, "row activations        %12d (%d conflicts)\n", r.HMC.RowActivations, r.HMC.BankConflicts)
+	fmt.Fprintf(&b, "core stall cycles      %12d\n", r.StallCycles)
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package sortnet
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// NewBitonic constructs Batcher's bitonic sorting network for n = 2^k
+// inputs. The paper selects odd–even mergesort over bitonic sort because it
+// needs fewer comparators at the same O(log² n) depth (§3.3); this
+// constructor exists to make that comparison measurable — see
+// TestOddEvenBeatsBitonic and BenchmarkAblationSorterAlgorithm.
+//
+// Bitonic networks contain descending comparators (Comparator.Down), which
+// Sort honors; the resulting order is still non-decreasing overall.
+func NewBitonic(n int) (*Network, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("sortnet: width %d is not a power of two ≥ 2", n)
+	}
+	net := &Network{n: n}
+	stage := 0
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			var step []Comparator
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				// Within a k-block the direction alternates: ascending when
+				// bit k of i is clear, descending otherwise.
+				step = append(step, Comparator{I: i, J: l, Down: i&k != 0})
+			}
+			net.steps = append(net.steps, step)
+			net.stage = append(net.stage, stage)
+		}
+		stage++
+	}
+	return net, nil
+}
+
+// MustNewBitonic is NewBitonic but panics on error.
+func MustNewBitonic(n int) *Network {
+	net, err := NewBitonic(n)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// BitonicComparators returns the comparator count formula for a bitonic
+// network of width n = 2^k: n/2 × k(k+1)/2.
+func BitonicComparators(n int) int {
+	k := bits.TrailingZeros(uint(n))
+	return n / 2 * k * (k + 1) / 2
+}

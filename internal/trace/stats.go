@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a trace.
+type Stats struct {
+	Accesses, Loads, Stores, Fences int
+	// PayloadBytes is the total data requested.
+	PayloadBytes uint64
+	// FootprintBytes approximates the touched memory: distinct 64 B lines
+	// × 64.
+	FootprintBytes uint64
+	// SpanTicks is the distance between the first and last access.
+	SpanTicks uint64
+	// CPUs is the number of distinct cores appearing in the trace.
+	CPUs int
+}
+
+// Summarize computes Stats over a trace.
+func Summarize(accs []Access) Stats {
+	var s Stats
+	if len(accs) == 0 {
+		return s
+	}
+	lines := make(map[uint64]struct{})
+	cpus := make(map[uint8]struct{})
+	first, last := accs[0].Tick, accs[0].Tick
+	for _, a := range accs {
+		s.Accesses++
+		cpus[a.CPU] = struct{}{}
+		if a.Tick < first {
+			first = a.Tick
+		}
+		if a.Tick > last {
+			last = a.Tick
+		}
+		switch a.Kind {
+		case Load:
+			s.Loads++
+		case Store:
+			s.Stores++
+		case FenceOp:
+			s.Fences++
+			continue
+		}
+		s.PayloadBytes += uint64(a.Size)
+		for ln := a.Addr / 64; ln <= (a.End()-1)/64; ln++ {
+			lines[ln] = struct{}{}
+		}
+	}
+	s.FootprintBytes = uint64(len(lines)) * 64
+	s.SpanTicks = last - first
+	s.CPUs = len(cpus)
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d accesses (%d loads, %d stores, %d fences) from %d CPUs",
+		s.Accesses, s.Loads, s.Stores, s.Fences, s.CPUs)
+	fmt.Fprintf(&b, ", %.2f MB payload over a %.2f MB footprint, %d ticks",
+		float64(s.PayloadBytes)/1e6, float64(s.FootprintBytes)/1e6, s.SpanTicks)
+	return b.String()
+}
+
+// Merge interleaves several traces into one, ordered by tick (stable across
+// inputs, so per-source program order is preserved).
+func Merge(traces ...[]Access) []Access {
+	var out []Access
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Tick < out[j].Tick })
+	return out
+}
+
+// Validate checks the invariants the simulator relies on: ticks
+// non-decreasing, sizes positive for loads/stores, addresses within 52
+// bits. It returns the first violation.
+func Validate(accs []Access) error {
+	var prev uint64
+	for i, a := range accs {
+		if a.Tick < prev {
+			return fmt.Errorf("trace: access %d at tick %d before predecessor %d", i, a.Tick, prev)
+		}
+		prev = a.Tick
+		if a.Kind == FenceOp {
+			continue
+		}
+		if a.Size == 0 {
+			return fmt.Errorf("trace: access %d has zero size", i)
+		}
+		if a.Addr>>52 != 0 {
+			return fmt.Errorf("trace: access %d address %#x exceeds 52 bits", i, a.Addr)
+		}
+	}
+	return nil
+}

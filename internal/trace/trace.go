@@ -1,0 +1,114 @@
+// Package trace defines the memory-access model shared by every layer of
+// the simulator: the accesses emitted by CPU cores, the miss stream leaving
+// the last level cache, and the extended 54-bit sort keys used by the
+// request sorting network (paper §3.4).
+//
+// The paper extends the 52-bit physical address with two control bits so
+// that request type separation and invalid-request padding come for free
+// during sorting:
+//
+//	bit 52 (Type):  0 = load, 1 = store. Store keys compare greater than
+//	                every load key, so a single numeric sort partitions the
+//	                sequence by type.
+//	bit 53 (Valid): 0 = valid, 1 = invalid. Padding entries carry Valid=1
+//	                and therefore sink to the end of the sorted sequence.
+package trace
+
+import "fmt"
+
+// Kind identifies the operation an access performs.
+type Kind uint8
+
+// Access kinds. Fence is a memory fence: it carries no address and forces
+// the coalescer to drain (paper §3.4).
+const (
+	Load Kind = iota
+	Store
+	FenceOp
+)
+
+// String returns a single-letter mnemonic used by the text trace format.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "L"
+	case Store:
+		return "S"
+	case FenceOp:
+		return "F"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Access is one memory operation observed at some point in the hierarchy.
+// At the core it is a load/store of Size payload bytes; at the LLC boundary
+// it is a miss or write-back request.
+type Access struct {
+	Addr uint64 // physical byte address (low 52 bits significant)
+	Size uint32 // requested payload in bytes
+	Kind Kind
+	CPU  uint8  // issuing core
+	Tick uint64 // issue time in core clock cycles
+}
+
+// Bit positions of the address extensions from paper §3.4 and Figure 5.
+const (
+	TypeBit  = 52 // request type: 0 load, 1 store
+	ValidBit = 53 // 0 valid, 1 invalid (padding)
+
+	// AddrMask selects the 52 physical address bits of a key.
+	AddrMask = (uint64(1) << TypeBit) - 1
+)
+
+// Key is the extended 54-bit sort key: {Valid, Type, Addr[51:0]}.
+type Key uint64
+
+// MakeKey builds the extended sort key for a valid request. Fences have no
+// address; callers must not build keys for them.
+func MakeKey(addr uint64, k Kind) Key {
+	key := Key(addr & AddrMask)
+	if k == Store {
+		key |= 1 << TypeBit
+	}
+	return key
+}
+
+// InvalidKey returns the padding key: Valid=1 with all lower bits set so it
+// compares greater than every valid key regardless of type.
+func InvalidKey() Key {
+	return Key(1<<ValidBit) | Key(1<<TypeBit) | Key(AddrMask)
+}
+
+// Addr extracts the 52-bit physical address from the key.
+func (k Key) Addr() uint64 { return uint64(k) & AddrMask }
+
+// Kind reports whether the key encodes a load or a store.
+func (k Key) Kind() Kind {
+	if uint64(k)&(1<<TypeBit) != 0 {
+		return Store
+	}
+	return Load
+}
+
+// Valid reports whether the key encodes a real request (Valid bit clear).
+func (k Key) Valid() bool { return uint64(k)&(1<<ValidBit) == 0 }
+
+// Key returns the extended sort key for the access.
+func (a Access) Key() Key { return MakeKey(a.Addr, a.Kind) }
+
+// End returns the first byte address past the access.
+func (a Access) End() uint64 { return a.Addr + uint64(a.Size) }
+
+// Overlaps reports whether two accesses touch at least one common byte.
+func (a Access) Overlaps(b Access) bool {
+	return a.Addr < b.End() && b.Addr < a.End()
+}
+
+// Line returns the index of the cache line containing the first byte of the
+// access, for the given line size (which must be a power of two).
+func (a Access) Line(lineSize uint64) uint64 { return a.Addr / lineSize }
+
+// String renders the access in the text trace format.
+func (a Access) String() string {
+	return fmt.Sprintf("%s %#x %d cpu=%d tick=%d", a.Kind, a.Addr, a.Size, a.CPU, a.Tick)
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{Load, "L"},
+		{Store, "S"},
+		{FenceOp, "F"},
+		{Kind(9), "Kind(9)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestMakeKeyRoundTrip(t *testing.T) {
+	f := func(addr uint64, isStore bool) bool {
+		kind := Load
+		if isStore {
+			kind = Store
+		}
+		k := MakeKey(addr, kind)
+		return k.Addr() == addr&AddrMask && k.Kind() == kind && k.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreKeysSortAfterLoads(t *testing.T) {
+	// Property from §3.4: any store key compares greater than any load key,
+	// so sorting the keys automatically separates request types.
+	f := func(a, b uint64) bool {
+		load := MakeKey(a, Load)
+		store := MakeKey(b, Store)
+		return load < store
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidKeySortsLast(t *testing.T) {
+	inv := InvalidKey()
+	if inv.Valid() {
+		t.Fatal("InvalidKey reported valid")
+	}
+	f := func(addr uint64, isStore bool) bool {
+		kind := Load
+		if isStore {
+			kind = Store
+		}
+		return MakeKey(addr, kind) < inv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeySortOrderMatchesAddressOrderWithinType(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]Key, 0, 256)
+	for i := 0; i < 128; i++ {
+		keys = append(keys, MakeKey(rng.Uint64()&AddrMask, Load))
+		keys = append(keys, MakeKey(rng.Uint64()&AddrMask, Store))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	// After sorting: a (possibly empty) run of loads in address order,
+	// followed by a run of stores in address order.
+	seenStore := false
+	var prev uint64
+	var prevSet bool
+	for _, k := range keys {
+		if k.Kind() == Store {
+			if !seenStore {
+				seenStore = true
+				prevSet = false
+			}
+		} else if seenStore {
+			t.Fatal("load key after store key in sorted order")
+		}
+		if prevSet && k.Addr() < prev {
+			t.Fatalf("addresses out of order within type: %#x after %#x", k.Addr(), prev)
+		}
+		prev, prevSet = k.Addr(), true
+	}
+}
+
+func TestAccessOverlaps(t *testing.T) {
+	a := Access{Addr: 100, Size: 16}
+	cases := []struct {
+		b    Access
+		want bool
+	}{
+		{Access{Addr: 100, Size: 16}, true},
+		{Access{Addr: 108, Size: 4}, true},
+		{Access{Addr: 96, Size: 8}, true},
+		{Access{Addr: 116, Size: 4}, false}, // adjacent, not overlapping
+		{Access{Addr: 84, Size: 16}, false},
+		{Access{Addr: 115, Size: 1}, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%v, %v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("Overlaps(%v, %v) = %v, want %v (symmetry)", c.b, a, got, c.want)
+		}
+	}
+}
+
+func TestAccessLine(t *testing.T) {
+	a := Access{Addr: 0x1FF, Size: 4}
+	if got := a.Line(64); got != 7 {
+		t.Errorf("Line(64) = %d, want 7", got)
+	}
+	if got := a.Line(256); got != 1 {
+		t.Errorf("Line(256) = %d, want 1", got)
+	}
+}
+
+func TestAccessEnd(t *testing.T) {
+	a := Access{Addr: 64, Size: 16}
+	if a.End() != 80 {
+		t.Errorf("End() = %d, want 80", a.End())
+	}
+}
