@@ -10,7 +10,9 @@ package hmccoal
 //	go test -bench=Fig08 -v               # one figure with its table
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"hmccoal/internal/hmc"
@@ -200,6 +202,36 @@ func BenchmarkFig15Performance(b *testing.B) {
 	b.ReportMetric(100*best, "best_speedup_%")
 	b.Logf("paper: 13.14%% average; FT 25.43%% and SparseLU 22.21%% best; here %s best\n%s",
 		bestName, Figure15Table(runs))
+}
+
+// BenchmarkSweepWorkers measures the wall-clock win of the parallel sweep
+// engine on the full evaluation pipeline (12 benchmarks × 3 architectures
+// + payload analyses) at the CLI's default -ops 4000 scale:
+//
+//	go test -bench=SweepWorkers -benchtime=1x
+//
+// workers1 is the old strictly serial pipeline; workersN uses every core.
+func BenchmarkSweepWorkers(b *testing.B) {
+	p := TraceParams{CPUs: 12, OpsPerCPU: 4000, Seed: 3}
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel-%dcpu", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(w.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runs, err := RunAllContext(context.Background(), p, SweepOptions{Workers: w.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(runs) != len(Benchmarks()) {
+					b.Fatalf("sweep returned %d runs", len(runs))
+				}
+			}
+		})
+	}
 }
 
 // --- Ablations of DESIGN.md design choices ---

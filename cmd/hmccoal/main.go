@@ -3,36 +3,49 @@
 //
 // Usage:
 //
-//	hmccoal -fig all                 # every figure
+//	hmccoal -fig all                 # every figure, all cores
+//	hmccoal -fig all -workers 1      # same output, strictly serial
 //	hmccoal -fig 8 -ops 8000         # one figure at a larger scale
 //	hmccoal -fig 10 -bench HPCG      # Figure 10 for a chosen benchmark
 //	hmccoal -list                    # list the benchmarks
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"hmccoal"
 	"hmccoal/internal/trace"
 )
 
+// validFigs is the set of figure tokens the -fig flag accepts.
+var validFigs = map[string]bool{
+	"all": true, "1": true, "2": true, "8": true, "9": true, "10": true,
+	"11": true, "12": true, "13": true, "14": true, "15": true,
+}
+
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 1,2,8,9,10,11,12,13,14,15 or 'all'")
-		ops    = flag.Int("ops", 4000, "approximate memory operations per CPU (scale)")
-		seed   = flag.Int64("seed", 3, "workload random seed")
-		cpus   = flag.Int("cpus", 12, "number of simulated CPUs")
-		bench  = flag.String("bench", "HPCG", "benchmark for figure 10")
-		list   = flag.Bool("list", false, "list benchmarks and exit")
-		chart  = flag.Bool("chart", false, "append ASCII bar charts to figures 8 and 15")
-		replay = flag.String("trace", "", "replay a binary trace file (from tracegen/rvsim) instead of running the benchmark suite")
-		asJSON = flag.Bool("json", false, "with -trace: emit the full results as JSON")
+		fig     = flag.String("fig", "all", "figure to regenerate: 1,2,8,9,10,11,12,13,14,15 or 'all'")
+		ops     = flag.Int("ops", 4000, "approximate memory operations per CPU (scale)")
+		seed    = flag.Int64("seed", 3, "workload random seed")
+		cpus    = flag.Int("cpus", 12, "number of simulated CPUs")
+		bench   = flag.String("bench", "HPCG", "benchmark for figure 10")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		chart   = flag.Bool("chart", false, "append ASCII bar charts to figures 8 and 15")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = serial)")
+		replay  = flag.String("trace", "", "replay a binary trace file (from tracegen/rvsim) instead of running the benchmark suite")
+		asJSON  = flag.Bool("json", false, "with -trace: emit the full results as JSON")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *replay != "" {
 		if err := replayTrace(*replay, *cpus, *asJSON); err != nil {
@@ -52,10 +65,20 @@ func main() {
 	p := hmccoal.TraceParams{CPUs: *cpus, OpsPerCPU: *ops, Seed: *seed}
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
-		want[strings.TrimSpace(f)] = true
+		f = strings.TrimSpace(f)
+		if !validFigs[f] {
+			fatal(fmt.Errorf("unknown figure %q (valid: 1, 2, 8, 9, 10, 11, 12, 13, 14, 15, all)", f))
+		}
+		want[f] = true
 	}
 	all := want["all"]
 	need := func(f string) bool { return all || want[f] }
+
+	if need("10") {
+		if err := validBenchmark(*bench); err != nil {
+			fatal(err)
+		}
+	}
 
 	if need("1") {
 		section("Figure 1 — bandwidth efficiency of HMC request packets")
@@ -77,7 +100,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "running %d benchmarks × 3 architectures at %d ops/CPU…\n",
 			len(hmccoal.Benchmarks()), *ops)
 		var err error
-		runs, err = hmccoal.RunAll(p)
+		runs, err = hmccoal.RunAllContext(ctx, p, sweepOptions(*workers))
+		fmt.Fprintln(os.Stderr)
 		if err != nil {
 			fatal(err)
 		}
@@ -116,7 +140,8 @@ func main() {
 	}
 	if need("14") {
 		section("Figure 14 — average coalescer latency vs timeout T")
-		table, err := hmccoal.Figure14Table(p, nil)
+		table, err := hmccoal.Figure14TableContext(ctx, p, nil, sweepOptions(*workers))
+		fmt.Fprintln(os.Stderr)
 		if err != nil {
 			fatal(err)
 		}
@@ -173,6 +198,28 @@ func replayTrace(path string, cpus int, asJSON bool) error {
 		return enc.Encode(results)
 	}
 	return nil
+}
+
+// sweepOptions wires the worker count and a stderr progress meter into a
+// parallel sweep. Progress goes to stderr only, so stdout stays
+// byte-identical at any worker count.
+func sweepOptions(workers int) hmccoal.SweepOptions {
+	return hmccoal.SweepOptions{
+		Workers: workers,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d simulations", done, total)
+		},
+	}
+}
+
+// validBenchmark rejects names that are not in the benchmark suite.
+func validBenchmark(name string) error {
+	for _, n := range hmccoal.Benchmarks() {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown benchmark %q (have %v)", name, hmccoal.Benchmarks())
 }
 
 func section(title string) {

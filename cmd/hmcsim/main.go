@@ -11,48 +11,66 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
 	"hmccoal/internal/hmc"
+	"hmccoal/internal/sweep"
 )
 
 func main() {
 	var (
-		sweep    = flag.Bool("sweep", false, "run the request-size sweep and exit")
-		pattern  = flag.String("pattern", "seq", "traffic pattern: seq, random, scatter16")
-		size     = flag.Uint("size", 64, "request payload bytes (FLIT multiple)")
-		requests = flag.Int("n", 100000, "number of requests")
-		seed     = flag.Int64("seed", 1, "random seed")
+		sizeSweep = flag.Bool("sweep", false, "run the request-size sweep and exit")
+		pattern   = flag.String("pattern", "seq", "traffic pattern: seq, random, scatter16")
+		size      = flag.Uint("size", 64, "request payload bytes (FLIT multiple)")
+		requests  = flag.Int("n", 100000, "number of requests")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
-	if *sweep {
-		fmt.Printf("%8s %12s %12s %14s %12s\n", "size", "requests", "time(µs)", "GB/s(payload)", "efficiency")
-		for sz := uint32(16); sz <= 256; sz *= 2 {
-			dev := mustDevice()
-			var last uint64
-			n := (1 << 24) / int(sz) // fixed 16 MiB of payload
-			for i := 0; i < n; i++ {
-				done, err := dev.Submit(0, hmc.Request{
-					Addr:           uint64(i) * 256,
-					PacketBytes:    sz,
-					RequestedBytes: sz,
-				})
+	if *sizeSweep {
+		// Each sweep point drives its own device, so the grid fans out
+		// across the worker pool; rows print in size order regardless of
+		// completion order.
+		sizes := []uint32{16, 32, 64, 128, 256}
+		rows, err := sweep.Map(context.Background(), len(sizes), sweep.Options{Workers: *workers},
+			func(_ context.Context, i int) (string, error) {
+				sz := sizes[i]
+				dev, err := hmc.NewDevice(hmc.DefaultConfig())
 				if err != nil {
-					fatal(err)
+					return "", err
 				}
-				if done > last {
-					last = done
+				var last uint64
+				n := (1 << 24) / int(sz) // fixed 16 MiB of payload
+				for j := 0; j < n; j++ {
+					done, err := dev.Submit(0, hmc.Request{
+						Addr:           uint64(j) * 256,
+						PacketBytes:    sz,
+						RequestedBytes: sz,
+					})
+					if err != nil {
+						return "", err
+					}
+					if done > last {
+						last = done
+					}
 				}
-			}
-			s := dev.Stats()
-			us := float64(last) / 3.3 / 1000
-			gbps := float64(s.PacketBytes) / (us * 1000)
-			fmt.Printf("%7dB %12d %12.1f %14.2f %11.2f%%\n",
-				sz, s.Requests, us, gbps, 100*s.BandwidthEfficiency())
+				s := dev.Stats()
+				us := float64(last) / 3.3 / 1000
+				gbps := float64(s.PacketBytes) / (us * 1000)
+				return fmt.Sprintf("%7dB %12d %12.1f %14.2f %11.2f%%",
+					sz, s.Requests, us, gbps, 100*s.BandwidthEfficiency()), nil
+			})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%8s %12s %12s %14s %12s\n", "size", "requests", "time(µs)", "GB/s(payload)", "efficiency")
+		for _, row := range rows {
+			fmt.Println(row)
 		}
 		return
 	}

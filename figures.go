@@ -1,6 +1,7 @@
 package hmccoal
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -42,15 +43,9 @@ func RunBenchmark(name string, p TraceParams) (BenchmarkRun, error) {
 		{ModeDMCOnly, &run.DMCOnly},
 		{ModeTwoPhase, &run.TwoPhase},
 	} {
-		cfg := DefaultConfig()
-		cfg.Mode = m.mode
-		sys, err := NewSystem(cfg)
+		*m.dst, err = runMode(name, m.mode, DefaultConfig(), accs)
 		if err != nil {
 			return run, err
-		}
-		*m.dst, err = sys.Run(accs)
-		if err != nil {
-			return run, fmt.Errorf("%s/%v: %w", name, m.mode, err)
 		}
 	}
 	run.Payload, err = AnalyzePayload(DefaultConfig(), accs)
@@ -60,17 +55,12 @@ func RunBenchmark(name string, p TraceParams) (BenchmarkRun, error) {
 	return run, nil
 }
 
-// RunAll executes every benchmark; results are in figure order.
+// RunAll executes every benchmark; results are in figure order. It fans
+// the simulations out across every core through the internal/sweep worker
+// pool — use RunAllContext for cancellation, progress reporting, or an
+// explicit worker count.
 func RunAll(p TraceParams) ([]BenchmarkRun, error) {
-	var runs []BenchmarkRun
-	for _, name := range Benchmarks() {
-		r, err := RunBenchmark(name, p)
-		if err != nil {
-			return runs, err
-		}
-		runs = append(runs, r)
-	}
-	return runs, nil
+	return RunAllContext(context.Background(), p, SweepOptions{})
 }
 
 // Figure1Table renders the analytic bandwidth-efficiency series.
@@ -200,53 +190,15 @@ func Figure13Table(runs []BenchmarkRun) string {
 
 // TimeoutSweep runs one benchmark's two-phase system across the Figure 14
 // timeout values, returning the average coalescer latency (ns) per timeout.
+// The per-timeout runs execute on the internal/sweep worker pool.
 func TimeoutSweep(name string, p TraceParams, timeouts []uint64) ([]float64, error) {
-	if len(timeouts) == 0 {
-		timeouts = []uint64{16, 20, 24, 28}
-	}
-	accs, err := GenerateTrace(name, p)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, 0, len(timeouts))
-	for _, to := range timeouts {
-		cfg := DefaultConfig()
-		cfg.Coalescer.TimeoutCycles = to
-		sys, err := NewSystem(cfg)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sys.Run(accs)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res.Coalescer.AvgRequestLatencyNs(res.ClockGHz))
-	}
-	return out, nil
+	return TimeoutSweepContext(context.Background(), name, p, timeouts, SweepOptions{})
 }
 
-// Figure14Table renders the timeout sweep for every benchmark.
+// Figure14Table renders the timeout sweep for every benchmark, fanning the
+// (benchmark × timeout) grid across every core.
 func Figure14Table(p TraceParams, timeouts []uint64) (string, error) {
-	if len(timeouts) == 0 {
-		timeouts = []uint64{16, 20, 24, 28}
-	}
-	header := []string{"benchmark"}
-	for _, to := range timeouts {
-		header = append(header, fmt.Sprintf("T=%d", to))
-	}
-	rows := [][]string{header}
-	for _, name := range Benchmarks() {
-		lat, err := TimeoutSweep(name, p, timeouts)
-		if err != nil {
-			return "", err
-		}
-		row := []string{name}
-		for _, ns := range lat {
-			row = append(row, metrics.Ns(ns))
-		}
-		rows = append(rows, row)
-	}
-	return rows2(rows), nil
+	return Figure14TableContext(context.Background(), p, timeouts, SweepOptions{})
 }
 
 // Figure15Table renders the runtime improvement of the memory coalescer.
@@ -291,27 +243,7 @@ func Figure15Chart(runs []BenchmarkRun) string {
 // MSHRSweep runs one benchmark's two-phase system across MSHR file sizes,
 // returning the coalescing efficiency per size — a scalability study of the
 // dynamic-MSHR design (the CRQ is resized in lockstep, as §3.2.2 requires).
+// The per-size runs execute on the internal/sweep worker pool.
 func MSHRSweep(name string, p TraceParams, entries []int) ([]float64, error) {
-	if len(entries) == 0 {
-		entries = []int{8, 16, 32, 64}
-	}
-	accs, err := GenerateTrace(name, p)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, 0, len(entries))
-	for _, n := range entries {
-		cfg := DefaultConfig()
-		cfg.Coalescer.MSHR.Entries = n
-		sys, err := NewSystem(cfg)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sys.Run(accs)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res.CoalescingEfficiency())
-	}
-	return out, nil
+	return MSHRSweepContext(context.Background(), name, p, entries, SweepOptions{})
 }

@@ -14,6 +14,7 @@
 //	internal/cache      L1/L2/shared-LLC hierarchy
 //	internal/workloads  the 12 evaluation benchmark trace generators
 //	internal/sim        full-system simulator and metrics
+//	internal/sweep      deterministic worker pool for the evaluation sweeps
 //	internal/riscv      RV64I emulator + assembler (Spike substitution)
 //
 // Quick start:

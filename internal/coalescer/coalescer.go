@@ -293,7 +293,7 @@ func (c *Coalescer) Push(now uint64, r Request) {
 	}
 	c.pending = append(c.pending, pendingReq{Request: r, pushTick: now})
 	if len(c.pending) >= c.cfg.Width {
-		c.flush(now)
+		c.flush(now, flushFull)
 	}
 }
 
@@ -303,7 +303,7 @@ func (c *Coalescer) Fence(now uint64) {
 	c.Advance(now)
 	c.stats.Fences++
 	if len(c.pending) > 0 {
-		c.flush(now)
+		c.flush(now, flushFence)
 	}
 	if c.cfg.FirstPhase {
 		if c.sortFree < now {
@@ -323,7 +323,7 @@ func (c *Coalescer) Advance(now uint64) {
 		c.completeOne()
 	}
 	if len(c.pending) > 0 && now >= c.pendingSince+c.curTimeout {
-		c.flush(c.pendingSince + c.curTimeout)
+		c.flush(c.pendingSince+c.curTimeout, flushTimeout)
 		// A timeout flush may have freed the way for in-flight work.
 		for len(c.inflight) > 0 && c.inflight[0].tick <= now {
 			c.completeOne()
@@ -358,7 +358,7 @@ func (c *Coalescer) NextEvent() (uint64, bool) {
 func (c *Coalescer) Drain(now uint64) uint64 {
 	c.Advance(now)
 	if len(c.pending) > 0 {
-		c.flush(now)
+		c.flush(now, flushDrain)
 	}
 	idle := now
 	for len(c.inflight) > 0 || len(c.crq) > 0 {

@@ -334,6 +334,10 @@ func TestFenceFlushesPending(t *testing.T) {
 	if s.Fences != 1 || s.Batches != 1 || s.BatchRequests != 2 {
 		t.Fatalf("stats after fence = %+v", s)
 	}
+	if s.FenceFlushes != 1 || s.TimeoutFlushes != 0 {
+		t.Fatalf("fence-triggered drain misattributed: fence=%d timeout=%d",
+			s.FenceFlushes, s.TimeoutFlushes)
+	}
 	h.c.Drain(12)
 	if len(h.issues) != 1 || h.issues[0].lines != 2 {
 		t.Errorf("issues = %+v", h.issues)
@@ -613,6 +617,116 @@ func TestWidth32EndToEnd(t *testing.T) {
 	}
 	if len(h.completed) != 32 {
 		t.Errorf("completed %d tokens, want 32", len(h.completed))
+	}
+}
+
+func TestFlushCausePartitionsBatches(t *testing.T) {
+	h := newHarness(t, noBypass())
+	// Full-width flush.
+	for i := uint64(0); i < 16; i++ {
+		h.c.Push(10, Request{Line: i, Payload: 8, Token: i})
+	}
+	// Timeout flush.
+	h.c.Push(1000, Request{Line: 100, Payload: 8, Token: 20})
+	h.c.Advance(2000)
+	// Fence flush.
+	h.c.Push(3000, Request{Line: 200, Payload: 8, Token: 21})
+	h.c.Fence(3001)
+	// End-of-run drain flush.
+	h.c.Push(4000, Request{Line: 300, Payload: 8, Token: 22})
+	h.c.Drain(4001)
+	s := h.c.Stats()
+	if s.FullFlushes != 1 || s.TimeoutFlushes != 1 || s.FenceFlushes != 1 || s.DrainFlushes != 1 {
+		t.Errorf("flush causes = full %d, timeout %d, fence %d, drain %d; want 1 each",
+			s.FullFlushes, s.TimeoutFlushes, s.FenceFlushes, s.DrainFlushes)
+	}
+	if sum := s.FullFlushes + s.TimeoutFlushes + s.FenceFlushes + s.DrainFlushes; sum != s.Batches {
+		t.Errorf("flush causes sum to %d, Batches = %d", sum, s.Batches)
+	}
+}
+
+func TestBlockedCRQHeadRetries(t *testing.T) {
+	// Saturate a 2-entry MSHR file with scattered misses: the CRQ head
+	// must park (blocked on a packed file), survive the retry without
+	// re-issuing already placed targets, and drain to completion in FIFO
+	// order once completions free entries.
+	cfg := noBypass()
+	cfg.MSHR.Entries = 2
+	h := newHarness(t, cfg)
+	h.memLatency = 1000
+	const n = 6
+	for i := uint64(0); i < n; i++ {
+		h.c.Push(10, Request{Line: i * 100, Payload: 8, Token: i}) // scattered: no coalescing
+	}
+	h.c.Advance(500) // timeout flush; only 2 packets can enter the file
+	if len(h.issues) != 2 {
+		t.Fatalf("issued %d before any completion, want 2 (file capacity)", len(h.issues))
+	}
+	if _, crq := h.c.QueueDepths(); crq == 0 {
+		t.Fatal("CRQ drained despite a packed MSHR file")
+	}
+	h.c.Drain(500)
+	if len(h.issues) != n {
+		t.Fatalf("issued %d total, want %d", len(h.issues), n)
+	}
+	// The retried head issues strictly after the first response frees an
+	// entry, and the dispatch order preserves the sorted FIFO order.
+	if h.issues[2].tick < 10+h.memLatency {
+		t.Errorf("blocked head issued at %d, before the first completion at %d",
+			h.issues[2].tick, 10+h.memLatency)
+	}
+	for i := 1; i < len(h.issues); i++ {
+		if h.issues[i].baseLine <= h.issues[i-1].baseLine {
+			t.Errorf("FIFO order broken: issue %d line %d after line %d",
+				i, h.issues[i].baseLine, h.issues[i-1].baseLine)
+		}
+	}
+	if len(h.completed) != n {
+		t.Errorf("completed %d tokens, want %d", len(h.completed), n)
+	}
+	if got := h.c.MSHRStats().FullStalls; got == 0 {
+		t.Error("FullStalls = 0, blocked-head path not exercised")
+	}
+}
+
+func TestSplitPacketChunking(t *testing.T) {
+	cases := []struct {
+		base   uint64
+		length int
+		want   []chunk
+	}{
+		{0, 1, []chunk{{0, 1}}},
+		{0, 2, []chunk{{0, 2}}},
+		{0, 3, []chunk{{0, 2}, {2, 1}}},
+		{0, 4, []chunk{{0, 4}}},
+		{4, 4, []chunk{{4, 4}}},
+		{0, 5, []chunk{{0, 4}, {4, 1}}},
+		{0, 7, []chunk{{0, 4}, {4, 2}, {6, 1}}},
+		{8, 8, []chunk{{8, 4}, {12, 4}}},
+		{3, 2, []chunk{{3, 2}}}, // caller guarantees block bounds; split is size-only
+	}
+	for _, c := range cases {
+		got := splitPacket(c.base, c.length)
+		if len(got) != len(c.want) {
+			t.Errorf("splitPacket(%d, %d) = %v, want %v", c.base, c.length, got, c.want)
+			continue
+		}
+		covered := c.base
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitPacket(%d, %d)[%d] = %v, want %v", c.base, c.length, i, got[i], c.want[i])
+			}
+			if got[i].base != covered {
+				t.Errorf("splitPacket(%d, %d) leaves a gap at line %d", c.base, c.length, covered)
+			}
+			if got[i].len != 1 && got[i].len != 2 && got[i].len != 4 {
+				t.Errorf("splitPacket(%d, %d) produced illegal size %d", c.base, c.length, got[i].len)
+			}
+			covered += uint64(got[i].len)
+		}
+		if covered != c.base+uint64(c.length) {
+			t.Errorf("splitPacket(%d, %d) covers through %d", c.base, c.length, covered)
+		}
 	}
 }
 

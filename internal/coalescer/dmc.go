@@ -8,10 +8,21 @@ import (
 	"hmccoal/internal/trace"
 )
 
+// flushCause records what closed an input sequence, so the flush-rate
+// statistics can distinguish timeout expiries from fence-forced drains.
+type flushCause int
+
+const (
+	flushFull    flushCause = iota // sequence reached full width
+	flushTimeout                   // input-buffer timeout expired
+	flushFence                     // a memory fence forced the drain
+	flushDrain                     // end-of-run Drain forced the drain
+)
+
 // flush closes the pending input sequence and runs it through the sorting
-// pipeline and the DMC unit. now is the flush trigger tick (sequence full,
-// timeout expiry, or fence).
-func (c *Coalescer) flush(now uint64) {
+// pipeline and the DMC unit. now is the flush trigger tick; cause is what
+// closed the sequence.
+func (c *Coalescer) flush(now uint64, cause flushCause) {
 	batch := c.pending
 	c.pending = nil
 	m := len(batch)
@@ -20,10 +31,15 @@ func (c *Coalescer) flush(now uint64) {
 	}
 	c.stats.Batches++
 	c.stats.BatchRequests += uint64(m)
-	if m >= c.cfg.Width {
+	switch cause {
+	case flushFull:
 		c.stats.FullFlushes++
-	} else {
+	case flushTimeout:
 		c.stats.TimeoutFlushes++
+	case flushFence:
+		c.stats.FenceFlushes++
+	case flushDrain:
+		c.stats.DrainFlushes++
 	}
 
 	// The sequence enters the sorter when its first stage is free; the

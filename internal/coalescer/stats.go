@@ -16,12 +16,16 @@ type Stats struct {
 	Bypassed uint64
 
 	// Batches is the number of sequences flushed into the sorter;
-	// BatchRequests sums their sizes. FullFlushes closed at full width,
-	// TimeoutFlushes on timeout expiry or fence.
+	// BatchRequests sums their sizes. The flush-cause counters partition
+	// Batches: FullFlushes closed at full width, TimeoutFlushes on
+	// input-buffer timeout expiry, FenceFlushes on a memory fence, and
+	// DrainFlushes on the end-of-run drain.
 	Batches        uint64
 	BatchRequests  uint64
 	FullFlushes    uint64
 	TimeoutFlushes uint64
+	FenceFlushes   uint64
+	DrainFlushes   uint64
 
 	// SortCycles sums the sorting-pipeline traversal latencies.
 	SortCycles uint64

@@ -558,6 +558,9 @@ func (r Result) Summary() string {
 	fmt.Fprintf(&b, "  first-phase merges   %12d\n", r.Coalescer.FirstPhaseMerges)
 	fmt.Fprintf(&b, "  second-phase merges  %12d\n", r.MSHR.MergedTargets)
 	fmt.Fprintf(&b, "  bypassed             %12d\n", r.Coalescer.Bypassed)
+	fmt.Fprintf(&b, "sorter flushes         %12d (full %d, timeout %d, fence %d, drain %d)\n",
+		r.Coalescer.Batches, r.Coalescer.FullFlushes, r.Coalescer.TimeoutFlushes,
+		r.Coalescer.FenceFlushes, r.Coalescer.DrainFlushes)
 	fmt.Fprintf(&b, "transferred            %12.2f MB (%.2f MB control)\n",
 		float64(r.HMC.TransferredBytes)/1e6, float64(r.HMC.ControlBytes())/1e6)
 	fmt.Fprintf(&b, "bandwidth efficiency   %11.2f%% (device, Equation 1)\n", 100*r.HMC.BandwidthEfficiency())

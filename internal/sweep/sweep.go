@@ -1,0 +1,115 @@
+// Package sweep is a deterministic worker-pool engine for the evaluation
+// pipeline's embarrassingly parallel simulation sweeps (benchmark × mode,
+// benchmark × timeout, request-size grids, …).
+//
+// Every job is identified by its index in a fixed-size grid; results come
+// back in index order regardless of completion order, so a sweep's output
+// is byte-identical whether it ran on one worker or on every core. The
+// engine supports context cancellation, a first-error-wins abort (the
+// first job error cancels the remaining jobs and is the error returned),
+// and an optional serialized progress callback.
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Options tunes a sweep.
+type Options struct {
+	// Workers is the pool size. 0 means GOMAXPROCS (all cores);
+	// 1 reproduces strictly serial, in-order execution.
+	Workers int
+	// Progress, when non-nil, is invoked after each job completes with
+	// the number of finished jobs and the grid size. Calls are
+	// serialized; done is strictly increasing from 1 to total.
+	Progress func(done, total int)
+}
+
+// workers resolves the effective pool size for n jobs.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) across the worker pool and
+// returns the results in index order. The first job error (in completion
+// order) cancels the remaining jobs and is returned alongside the partial
+// results; jobs that never ran leave their result slot at the zero value.
+// A cancelled ctx aborts the sweep with ctx's error.
+func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error
+	)
+	finish := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			cancel()
+			return
+		}
+		done++
+		if opts.Progress != nil {
+			opts.Progress(done, n)
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := opts.workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				r, err := fn(ctx, i)
+				if err != nil {
+					finish(err)
+					return
+				}
+				results[i] = r
+				finish(nil)
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return results, firstErr
+	}
+	return results, ctx.Err()
+}

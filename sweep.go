@@ -1,0 +1,200 @@
+package hmccoal
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hmccoal/internal/metrics"
+	"hmccoal/internal/sweep"
+)
+
+// SweepOptions tunes the parallel evaluation sweeps (RunAllContext,
+// Figure14TableContext, …).
+type SweepOptions struct {
+	// Workers is the simulation worker-pool size. 0 uses every core
+	// (GOMAXPROCS); 1 reproduces the old strictly serial pipeline. The
+	// results are byte-identical at any worker count — only wall-clock
+	// changes.
+	Workers int
+	// Progress, when non-nil, is called after each simulation job
+	// completes with the number of finished jobs and the grid size.
+	// Calls are serialized across workers.
+	Progress func(done, total int)
+}
+
+func (o SweepOptions) engine() sweep.Options {
+	return sweep.Options{Workers: o.Workers, Progress: o.Progress}
+}
+
+// traceCell lazily generates one benchmark's trace exactly once and shares
+// the immutable []Access across every simulation job that needs it.
+type traceCell struct {
+	once sync.Once
+	accs []Access
+	err  error
+}
+
+// traceTable builds the per-benchmark lazy trace generators for a sweep.
+func traceTable(names []string, p TraceParams) func(b int) ([]Access, error) {
+	cells := make([]traceCell, len(names))
+	return func(b int) ([]Access, error) {
+		c := &cells[b]
+		c.once.Do(func() { c.accs, c.err = GenerateTrace(names[b], p) })
+		return c.accs, c.err
+	}
+}
+
+// runMode builds a fresh system (sim.System is single-use) and replays the
+// trace under the given miss-handling architecture.
+func runMode(name string, m Mode, cfg Config, accs []Access) (Result, error) {
+	cfg.Mode = m
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := sys.Run(accs)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s/%v: %w", name, m, err)
+	}
+	return res, nil
+}
+
+// benchCell is one (benchmark × job-kind) slot of the RunAll grid.
+type benchCell struct {
+	res Result
+	pay PayloadAnalysis
+}
+
+// The RunAll grid runs four independent jobs per benchmark: the three
+// architectures of Figure 8 plus the payload-granularity analysis.
+const runAllKinds = 4
+
+var runAllModes = [3]Mode{ModeBaseline, ModeDMCOnly, ModeTwoPhase}
+
+// RunAllContext executes every benchmark under all three architectures on
+// a worker pool, fanning the (benchmark × mode) and (benchmark × payload
+// analysis) jobs across opt.Workers goroutines. Each benchmark's trace is
+// generated once and shared. Results are in figure order regardless of
+// completion order; a cancelled ctx or the first job error aborts the
+// sweep.
+func RunAllContext(ctx context.Context, p TraceParams, opt SweepOptions) ([]BenchmarkRun, error) {
+	names := Benchmarks()
+	trace := traceTable(names, p)
+	cells, err := sweep.Map(ctx, runAllKinds*len(names), opt.engine(),
+		func(_ context.Context, i int) (benchCell, error) {
+			b, kind := i/runAllKinds, i%runAllKinds
+			accs, err := trace(b)
+			if err != nil {
+				return benchCell{}, err
+			}
+			if kind == runAllKinds-1 {
+				pay, err := AnalyzePayload(DefaultConfig(), accs)
+				return benchCell{pay: pay}, err
+			}
+			res, err := runMode(names[b], runAllModes[kind], DefaultConfig(), accs)
+			return benchCell{res: res}, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]BenchmarkRun, len(names))
+	for b, name := range names {
+		runs[b] = BenchmarkRun{
+			Name:     name,
+			Baseline: cells[b*runAllKinds+0].res,
+			DMCOnly:  cells[b*runAllKinds+1].res,
+			TwoPhase: cells[b*runAllKinds+2].res,
+			Payload:  cells[b*runAllKinds+3].pay,
+		}
+	}
+	return runs, nil
+}
+
+// TimeoutSweepContext is TimeoutSweep on a worker pool: the benchmark's
+// trace is generated once and the per-timeout runs fan out in parallel.
+func TimeoutSweepContext(ctx context.Context, name string, p TraceParams, timeouts []uint64, opt SweepOptions) ([]float64, error) {
+	if len(timeouts) == 0 {
+		timeouts = defaultTimeouts()
+	}
+	accs, err := GenerateTrace(name, p)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Map(ctx, len(timeouts), opt.engine(),
+		func(_ context.Context, i int) (float64, error) {
+			cfg := DefaultConfig()
+			cfg.Coalescer.TimeoutCycles = timeouts[i]
+			res, err := runMode(name, cfg.Mode, cfg, accs)
+			if err != nil {
+				return 0, err
+			}
+			return res.Coalescer.AvgRequestLatencyNs(res.ClockGHz), nil
+		})
+}
+
+// Figure14TableContext renders the timeout sweep for every benchmark,
+// fanning the full (benchmark × timeout) grid across the worker pool with
+// one shared trace per benchmark.
+func Figure14TableContext(ctx context.Context, p TraceParams, timeouts []uint64, opt SweepOptions) (string, error) {
+	if len(timeouts) == 0 {
+		timeouts = defaultTimeouts()
+	}
+	names := Benchmarks()
+	trace := traceTable(names, p)
+	lat, err := sweep.Map(ctx, len(names)*len(timeouts), opt.engine(),
+		func(_ context.Context, i int) (float64, error) {
+			b, t := i/len(timeouts), i%len(timeouts)
+			accs, err := trace(b)
+			if err != nil {
+				return 0, err
+			}
+			cfg := DefaultConfig()
+			cfg.Coalescer.TimeoutCycles = timeouts[t]
+			res, err := runMode(names[b], cfg.Mode, cfg, accs)
+			if err != nil {
+				return 0, err
+			}
+			return res.Coalescer.AvgRequestLatencyNs(res.ClockGHz), nil
+		})
+	if err != nil {
+		return "", err
+	}
+	header := []string{"benchmark"}
+	for _, to := range timeouts {
+		header = append(header, fmt.Sprintf("T=%d", to))
+	}
+	rows := [][]string{header}
+	for b, name := range names {
+		row := []string{name}
+		for t := range timeouts {
+			row = append(row, metrics.Ns(lat[b*len(timeouts)+t]))
+		}
+		rows = append(rows, row)
+	}
+	return rows2(rows), nil
+}
+
+// MSHRSweepContext is MSHRSweep on a worker pool.
+func MSHRSweepContext(ctx context.Context, name string, p TraceParams, entries []int, opt SweepOptions) ([]float64, error) {
+	if len(entries) == 0 {
+		entries = []int{8, 16, 32, 64}
+	}
+	accs, err := GenerateTrace(name, p)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Map(ctx, len(entries), opt.engine(),
+		func(_ context.Context, i int) (float64, error) {
+			cfg := DefaultConfig()
+			cfg.Coalescer.MSHR.Entries = entries[i]
+			res, err := runMode(name, cfg.Mode, cfg, accs)
+			if err != nil {
+				return 0, err
+			}
+			return res.CoalescingEfficiency(), nil
+		})
+}
+
+// defaultTimeouts is the Figure 14 sweep grid.
+func defaultTimeouts() []uint64 { return []uint64{16, 20, 24, 28} }
