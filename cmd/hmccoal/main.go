@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"hmccoal"
+	"hmccoal/internal/profiling"
 	"hmccoal/internal/trace"
 )
 
@@ -41,8 +42,18 @@ func main() {
 		workers = flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = serial)")
 		replay  = flag.String("trace", "", "replay a binary trace file (from tracegen/rvsim) instead of running the benchmark suite")
 		asJSON  = flag.Bool("json", false, "with -trace: emit the full results as JSON")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		exectrace  = flag.String("exectrace", "", "write a runtime execution trace to this file (-trace is taken by replay)")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -191,6 +202,7 @@ func replayTrace(path string, cpus int, asJSON bool) error {
 		}
 		section(fmt.Sprintf("%v", mode))
 		fmt.Print(res.Summary())
+		fmt.Printf("\ndevice packet sizes:\n%s", hmccoal.PacketSizeTable(res))
 	}
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)

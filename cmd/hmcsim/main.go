@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"hmccoal/internal/hmc"
+	"hmccoal/internal/profiling"
 	"hmccoal/internal/sweep"
 )
 
@@ -29,8 +30,19 @@ func main() {
 		requests  = flag.Int("n", 100000, "number of requests")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		exectrace  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *sizeSweep {
 		// Each sweep point drives its own device, so the grid fans out

@@ -132,19 +132,41 @@ func Figure9Table(runs []BenchmarkRun) string {
 // benchmark (the paper plots HPCG).
 func Figure10Table(r BenchmarkRun) string {
 	sizes := make([]uint32, 0, len(r.Payload.Hist))
-	var total uint64
-	for s, n := range r.Payload.Hist {
+	for s := range r.Payload.Hist {
 		sizes = append(sizes, s)
-		total += n
 	}
 	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	rows := make([][2]uint64, len(sizes))
+	for i, s := range sizes {
+		rows[i] = [2]uint64{uint64(s), r.Payload.Hist[s]}
+	}
+	return histTable(rows)
+}
+
+// PacketSizeTable renders the HMC device's packet-size histogram for one
+// run, iterating in deterministic ascending order via SizeHistSorted.
+func PacketSizeTable(r Result) string {
+	hist := r.HMC.SizeHistSorted()
+	rows := make([][2]uint64, len(hist))
+	for i, sc := range hist {
+		rows[i] = [2]uint64{uint64(sc.Size), sc.Count}
+	}
+	return histTable(rows)
+}
+
+// histTable renders sorted (size, count) pairs as a size/requests/share
+// table — the shared shape of every size-distribution figure.
+func histTable(pairs [][2]uint64) string {
+	var total uint64
+	for _, p := range pairs {
+		total += p[1]
+	}
 	rows := [][]string{{"size", "requests", "share"}}
-	for _, s := range sizes {
-		n := r.Payload.Hist[s]
+	for _, p := range pairs {
 		rows = append(rows, []string{
-			fmt.Sprintf("%d B", s),
-			fmt.Sprintf("%d", n),
-			metrics.Pct(float64(n) / float64(total)),
+			fmt.Sprintf("%d B", p[0]),
+			fmt.Sprintf("%d", p[1]),
+			metrics.Pct(float64(p[1]) / float64(total)),
 		})
 	}
 	return rows2(rows)

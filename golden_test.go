@@ -1,0 +1,90 @@
+package hmccoal
+
+// The determinism contract behind every hot-path optimization: for a fixed
+// seed trace, the simulator's Result — rendered through Summary() plus the
+// raw counters — must stay byte-identical across all three miss-handling
+// architectures. Regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test -run TestGoldenMetrics
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+const goldenPath = "testdata/golden_metrics.txt"
+
+// renderGoldenMetrics runs the fixed workloads under every architecture and
+// renders everything the figures depend on.
+func renderGoldenMetrics(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for _, bench := range []string{"HPCG", "FT"} {
+		accs, err := GenerateTrace(bench, TraceParams{CPUs: 12, OpsPerCPU: 900, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Mode{ModeBaseline, ModeDMCOnly, ModeTwoPhase} {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			sys, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run(accs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&b, "=== %s/%v ===\n%s", bench, mode, res.Summary())
+			fmt.Fprintf(&b, "RuntimeCycles=%d LLCMisses=%d HMCRequests=%d StallCycles=%d\n",
+				res.RuntimeCycles, res.LLCMisses, res.HMCRequests, res.StallCycles)
+			fmt.Fprintf(&b, "MSHR allocs=%d merged=%d split=%d stalls=%d\n",
+				res.MSHR.Allocations, res.MSHR.MergedTargets, res.MSHR.SplitRequests, res.MSHR.FullStalls)
+			fmt.Fprintf(&b, "L1=%+v\nL2=%+v\nLLC=%+v\n", res.L1, res.L2, res.LLC)
+			fmt.Fprintf(&b, "HMC reads=%d writes=%d packet=%d requested=%d transferred=%d rowact=%d conflicts=%d conflictwait=%d\n",
+				res.HMC.Reads, res.HMC.Writes, res.HMC.PacketBytes, res.HMC.RequestedBytes,
+				res.HMC.TransferredBytes, res.HMC.RowActivations, res.HMC.BankConflicts, res.HMC.ConflictWait)
+			fmt.Fprintf(&b, "Coal batches=%d batchreqs=%d sort=%d dmc=%d lat=%d/%d peak=%d fills=%d fillcycles=%d\n",
+				res.Coalescer.Batches, res.Coalescer.BatchRequests, res.Coalescer.SortCycles,
+				res.Coalescer.DMCCycles, res.Coalescer.RequestLatency, res.Coalescer.LatencySamples,
+				res.Coalescer.CRQPeak, res.Coalescer.CRQFills, res.Coalescer.CRQFillCycles)
+		}
+	}
+	return b.String()
+}
+
+// TestGoldenMetrics locks the byte-identical-output contract. Any
+// optimization that shifts a single counter or a single formatted byte of
+// Summary() fails here.
+func TestGoldenMetrics(t *testing.T) {
+	got := renderGoldenMetrics(t)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden metrics drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestGoldenRepeatable guards run-to-run determinism within one binary: two
+// fresh systems over the same trace must agree exactly.
+func TestGoldenRepeatable(t *testing.T) {
+	a := renderGoldenMetrics(t)
+	b := renderGoldenMetrics(t)
+	if a != b {
+		t.Error("two identical runs produced different metrics")
+	}
+}

@@ -1,0 +1,40 @@
+package cache
+
+import (
+	"testing"
+
+	"hmccoal/internal/trace"
+)
+
+// BenchmarkCacheAccess measures the single-level tag/LRU path: a strided
+// footprint larger than the cache so hits and misses interleave.
+func BenchmarkCacheAccess(b *testing.B) {
+	c, err := New(Config{SizeBytes: 1 << 20, Ways: 16, LineBytes: 64, HitLatency: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*7)%(1<<16), i&3 == 0)
+	}
+}
+
+// BenchmarkHierarchyAccess measures the full three-level walk including
+// miss-record generation, the hot call of the system simulator.
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h, err := NewHierarchy(DefaultHierarchyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := trace.Access{
+			Addr: uint64(i*53) % (1 << 26) * 8,
+			Size: 16,
+			Kind: trace.Kind(i & 1), // alternate load/store
+			CPU:  uint8(i % 12),
+			Tick: uint64(i),
+		}
+		h.Access(a)
+	}
+}

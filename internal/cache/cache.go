@@ -9,7 +9,10 @@
 // memory latency through the coalescer, MSHRs and HMC device.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes one cache level.
 type Config struct {
@@ -39,7 +42,7 @@ type line struct {
 	tag   uint64
 	valid bool
 	dirty bool
-	lru   uint64
+	lru   uint64 // recency counter; used only when ways > lruStackWays
 }
 
 // Stats counts per-level activity.
@@ -55,13 +58,39 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// lruStackWays is the widest associativity the packed recency stack
+// supports: one nibble per way in a uint64.
+const lruStackWays = 16
+
 // Cache is one set-associative, write-back, write-allocate cache level with
 // LRU replacement. It is line-granular: callers present line numbers.
+//
+// The tag store is one contiguous slice (sets × ways) indexed by
+// shift/mask, and for associativities up to 16 the LRU state of a set is a
+// packed recency stack: nibble r of order[set] holds the way at recency
+// rank r (rank 0 = MRU, rank ways-1 = LRU). Promoting a way to MRU and
+// picking a victim are then register-only word operations instead of
+// counter scans, and victim selection is identical to counter LRU: invalid
+// ways are consumed in index order, then the least recently touched way.
 type Cache struct {
-	cfg   Config
-	sets  [][]line
-	clock uint64
-	stats Stats
+	cfg     Config
+	lines   []line   // sets × ways, set-major
+	order   []uint64 // packed per-set recency stacks (ways <= lruStackWays)
+	setMask uint64   // numSets - 1
+	tagBits uint     // log2(numSets): tag = lineNum >> tagBits
+	ways    int
+	clock   uint64
+	stats   Stats
+}
+
+// initialOrder is the boot recency stack: way 0 at the LRU end, so empty
+// ways fill in index order exactly as the counter scan would pick them.
+func initialOrder(ways int) uint64 {
+	var o uint64
+	for r := 0; r < ways; r++ {
+		o |= uint64(ways-1-r) << (4 * r)
+	}
+	return o
 }
 
 // New builds a cache level.
@@ -70,9 +99,18 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	numSets := cfg.SizeBytes / uint64(cfg.LineBytes) / uint64(cfg.Ways)
-	c := &Cache{cfg: cfg, sets: make([][]line, numSets)}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+	c := &Cache{
+		cfg:     cfg,
+		lines:   make([]line, numSets*uint64(cfg.Ways)),
+		setMask: numSets - 1,
+		tagBits: uint(bits.TrailingZeros64(numSets)),
+		ways:    cfg.Ways,
+	}
+	if cfg.Ways <= lruStackWays {
+		c.order = make([]uint64, numSets)
+		for i := range c.order {
+			c.order[i] = initialOrder(cfg.Ways)
+		}
 	}
 	return c, nil
 }
@@ -83,6 +121,21 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns the accumulated counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// touch promotes way w of set to MRU in the packed recency stack.
+func (c *Cache) touch(set uint64, w int) {
+	o := c.order[set]
+	// Find the rank holding w, then shift every younger nibble up one rank
+	// and install w at rank 0.
+	for r := 0; ; r++ {
+		if int(o>>(4*r))&0xf == w {
+			low := o & (1<<(4*r) - 1)
+			keep := o &^ (1<<(4*(r+1)) - 1)
+			c.order[set] = keep | low<<4 | uint64(w)
+			return
+		}
+	}
+}
+
 // Access touches lineNum (an absolute cache line number). write marks the
 // line dirty on hit or after fill. It returns whether the access hit and,
 // on a miss that evicted a dirty victim, the victim's line number.
@@ -90,47 +143,83 @@ func (c *Cache) Stats() Stats { return c.stats }
 // A miss installs the line immediately (the timing of the fill is the
 // simulator's concern), so a subsequent access to the same line hits.
 func (c *Cache) Access(lineNum uint64, write bool) (hit bool, writeBack *uint64) {
+	hit, wb, dirty := c.AccessValue(lineNum, write)
+	if dirty {
+		writeBack = &wb
+	}
+	return hit, writeBack
+}
+
+// AccessValue is Access without the pointer in the return: the write-back
+// line is returned by value with a validity flag, so the hot path never
+// heap-allocates. The simulator's hierarchy walk uses this form.
+func (c *Cache) AccessValue(lineNum uint64, write bool) (hit bool, writeBack uint64, hasWriteBack bool) {
 	c.clock++
 	c.stats.Accesses++
-	set := c.sets[lineNum%uint64(len(c.sets))]
-	tag := lineNum / uint64(len(c.sets))
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	set := lineNum & c.setMask
+	base := set * uint64(c.ways)
+	ways := c.lines[base : base+uint64(c.ways)]
+	tag := lineNum >> c.tagBits
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
 			c.stats.Hits++
-			set[i].lru = c.clock
-			if write {
-				set[i].dirty = true
+			if c.order != nil {
+				c.touch(set, i)
+			} else {
+				ways[i].lru = c.clock
 			}
-			return true, nil
+			if write {
+				ways[i].dirty = true
+			}
+			return true, 0, false
 		}
 	}
 	c.stats.Misses++
-	// Choose a victim: an invalid way, else the least recently used.
+	// Choose a victim: an invalid way, else the least recently used. With
+	// the packed stack both cases collapse to the stack's LRU rank (invalid
+	// ways sit at the cold end in index order by construction).
 	victim := 0
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			break
+	if c.order != nil {
+		victim = int(c.order[set]>>(4*(c.ways-1))) & 0xf
+		if ways[victim].valid {
+			for i := range ways {
+				if !ways[i].valid {
+					victim = i
+					break
+				}
+			}
 		}
-		if set[i].lru < set[victim].lru {
-			victim = i
+	} else {
+		for i := range ways {
+			if !ways[i].valid {
+				victim = i
+				break
+			}
+			if ways[i].lru < ways[victim].lru {
+				victim = i
+			}
 		}
 	}
-	if set[victim].valid && set[victim].dirty {
+	if ways[victim].valid && ways[victim].dirty {
 		c.stats.WriteBacks++
-		wb := set[victim].tag*uint64(len(c.sets)) + lineNum%uint64(len(c.sets))
-		writeBack = &wb
+		writeBack = ways[victim].tag<<c.tagBits | set
+		hasWriteBack = true
 	}
-	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
-	return false, writeBack
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	if c.order != nil {
+		c.touch(set, victim)
+	}
+	return false, writeBack, hasWriteBack
 }
 
 // Contains reports whether the line is present (no LRU update).
 func (c *Cache) Contains(lineNum uint64) bool {
-	set := c.sets[lineNum%uint64(len(c.sets))]
-	tag := lineNum / uint64(len(c.sets))
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	set := lineNum & c.setMask
+	base := set * uint64(c.ways)
+	ways := c.lines[base : base+uint64(c.ways)]
+	tag := lineNum >> c.tagBits
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
 			return true
 		}
 	}
@@ -141,13 +230,18 @@ func (c *Cache) Contains(lineNum uint64) bool {
 // unspecified order.
 func (c *Cache) Flush() []uint64 {
 	var dirty []uint64
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			l := &c.sets[s][w]
+	numSets := c.setMask + 1
+	for s := uint64(0); s < numSets; s++ {
+		base := s * uint64(c.ways)
+		for w := 0; w < c.ways; w++ {
+			l := &c.lines[base+uint64(w)]
 			if l.valid && l.dirty {
-				dirty = append(dirty, l.tag*uint64(len(c.sets))+uint64(s))
+				dirty = append(dirty, l.tag<<c.tagBits|s)
 			}
 			*l = line{}
+		}
+		if c.order != nil {
+			c.order[s] = initialOrder(c.ways)
 		}
 	}
 	return dirty

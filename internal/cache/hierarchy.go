@@ -50,6 +50,8 @@ type Hierarchy struct {
 	l1  []*Cache
 	l2  []*Cache
 	llc *Cache
+
+	missBuf []Miss // reused across Access calls to keep the hot path allocation-free
 }
 
 // NewHierarchy builds the stack. All levels must share one line size.
@@ -95,10 +97,14 @@ func (h *Hierarchy) LineBytes() uint32 { return h.cfg.LLC.LineBytes }
 //
 // Accesses that span cache lines are split per line, as the load/store
 // unit would split them.
+//
+// The returned miss slice is reused by the next Access call; callers that
+// need it longer must copy it.
 func (h *Hierarchy) Access(a trace.Access) (latency uint64, misses []Miss) {
 	if a.Kind == trace.FenceOp {
 		return 0, nil
 	}
+	misses = h.missBuf[:0]
 	if int(a.CPU) >= h.cfg.CPUs {
 		panic(fmt.Sprintf("cache: access from CPU %d of %d", a.CPU, h.cfg.CPUs))
 	}
@@ -118,26 +124,26 @@ func (h *Hierarchy) Access(a trace.Access) (latency uint64, misses []Miss) {
 		payload := uint32(hi - lo)
 
 		latency += h.cfg.L1.HitLatency
-		if hit, _ := h.l1[a.CPU].Access(ln, write); hit {
+		if hit, _, _ := h.l1[a.CPU].AccessValue(ln, write); hit {
 			continue
 		}
 		// L1 victims are clean toward L2 in this model (L2 is inclusive
 		// enough for the traffic shapes we simulate); only LLC-level dirty
 		// evictions generate memory traffic.
 		latency += h.cfg.L2.HitLatency
-		if hit, _ := h.l2[a.CPU].Access(ln, write); hit {
+		if hit, _, _ := h.l2[a.CPU].AccessValue(ln, write); hit {
 			continue
 		}
 		latency += h.cfg.LLC.HitLatency
-		hit, wb := h.llc.Access(ln, write)
+		hit, wb, hasWB := h.llc.AccessValue(ln, write)
 		if hit {
 			continue
 		}
 		misses = append(misses, Miss{Line: ln, Addr: lo, Write: write, Payload: payload, CPU: a.CPU})
-		if wb != nil {
+		if hasWB {
 			misses = append(misses, Miss{
-				Line:      *wb,
-				Addr:      *wb * lineBytes,
+				Line:      wb,
+				Addr:      wb * lineBytes,
 				Write:     true,
 				WriteBack: true,
 				Payload:   h.LineBytes(),
@@ -145,6 +151,7 @@ func (h *Hierarchy) Access(a trace.Access) (latency uint64, misses []Miss) {
 			})
 		}
 	}
+	h.missBuf = misses
 	return latency, misses
 }
 

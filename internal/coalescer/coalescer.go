@@ -12,7 +12,6 @@
 package coalescer
 
 import (
-	"container/heap"
 	"fmt"
 
 	"hmccoal/internal/mshr"
@@ -125,8 +124,24 @@ type Coalescer struct {
 	sortFree     uint64       // next tick the sorter's first stage is free
 	curTimeout   uint64       // effective timeout (EWMA when adaptive)
 
-	crq         []packet
-	inflight    completionHeap
+	// The CRQ is a power-of-two ring buffer: crqBuf[crqHead] is the FIFO
+	// head and crqLen its occupancy. Popping the head is an index bump, not
+	// a reslice, so the backing array is reused for the whole run.
+	crqBuf  []packet
+	crqHead int
+	crqLen  int
+
+	// flushKeys/flushPad are the sorter's Width-sized working arrays,
+	// allocated once; padSwap is the sorter's swap callback over flushPad,
+	// built once so flush does not allocate a closure per sequence.
+	// targetPool recycles packet target slices retired from the CRQ back to
+	// the DMC unit and the bypass path.
+	flushKeys  []uint64
+	flushPad   []pendingReq
+	padSwap    func(i, j int)
+	targetPool [][]mshr.Target
+
+	inflight    []completion
 	freedAt     uint64 // tick of the most recent MSHR entry release
 	lastIssue   uint64 // tick of the most recent memory dispatch
 	lastAdvance uint64 // latest tick Advance has processed
@@ -178,7 +193,7 @@ func New(cfg Config, issue IssueFunc, complete CompleteFunc) (*Coalescer, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Coalescer{
+	c := &Coalescer{
 		cfg:        cfg,
 		net:        net,
 		pipe:       pipe,
@@ -189,7 +204,61 @@ func New(cfg Config, issue IssueFunc, complete CompleteFunc) (*Coalescer, error)
 		curTimeout: cfg.TimeoutCycles,
 		bypassOn:   true,       // §4.2: the bypass is armed at boot
 		idleSince:  ^uint64(0), // not in an idle span until proven so
-	}, nil
+		flushKeys:  make([]uint64, cfg.Width),
+		flushPad:   make([]pendingReq, cfg.Width),
+	}
+	pad := c.flushPad
+	c.padSwap = func(i, j int) { pad[i], pad[j] = pad[j], pad[i] }
+	return c, nil
+}
+
+// getTargets hands out an empty target slice, recycled when possible.
+func (c *Coalescer) getTargets() []mshr.Target {
+	if n := len(c.targetPool); n > 0 {
+		t := c.targetPool[n-1]
+		c.targetPool = c.targetPool[:n-1]
+		return t[:0]
+	}
+	return make([]mshr.Target, 0, c.cfg.Width)
+}
+
+// putTargets returns a retired packet's target slice to the pool.
+func (c *Coalescer) putTargets(t []mshr.Target) {
+	if cap(t) > 0 {
+		c.targetPool = append(c.targetPool, t)
+	}
+}
+
+// crqFront returns the FIFO head packet. The CRQ must be non-empty.
+func (c *Coalescer) crqFront() *packet {
+	return &c.crqBuf[c.crqHead]
+}
+
+// crqPush appends a packet at the ring's tail, growing it as needed.
+func (c *Coalescer) crqPush(p packet) {
+	if c.crqLen == len(c.crqBuf) {
+		size := len(c.crqBuf) * 2
+		if size == 0 {
+			size = 16
+		}
+		grown := make([]packet, size)
+		for i := 0; i < c.crqLen; i++ {
+			grown[i] = c.crqBuf[(c.crqHead+i)&(len(c.crqBuf)-1)]
+		}
+		c.crqBuf = grown
+		c.crqHead = 0
+	}
+	c.crqBuf[(c.crqHead+c.crqLen)&(len(c.crqBuf)-1)] = p
+	c.crqLen++
+}
+
+// crqPop retires the FIFO head, recycling its target slice.
+func (c *Coalescer) crqPop() {
+	p := &c.crqBuf[c.crqHead]
+	c.putTargets(p.targets)
+	p.targets = nil
+	c.crqHead = (c.crqHead + 1) & (len(c.crqBuf) - 1)
+	c.crqLen--
 }
 
 // Timeout returns the effective input-buffer timeout: the configured value,
@@ -224,13 +293,13 @@ func (c *Coalescer) Outstanding() int { return len(c.inflight) }
 
 // QueueDepths reports the occupancy of the input buffer and the CRQ,
 // for diagnostics.
-func (c *Coalescer) QueueDepths() (pending, crq int) { return len(c.pending), len(c.crq) }
+func (c *Coalescer) QueueDepths() (pending, crq int) { return len(c.pending), c.crqLen }
 
 // DebugState renders internal queue state for deadlock diagnostics.
 func (c *Coalescer) DebugState() string {
 	s := fmt.Sprintf("lastAdvance=%d freedAt=%d lastIssue=%d free=%d", c.lastAdvance, c.freedAt, c.lastIssue, c.file.Free())
-	if len(c.crq) > 0 {
-		p := c.crq[0]
+	if c.crqLen > 0 {
+		p := *c.crqFront()
 		s += fmt.Sprintf(" head{base=%d lines=%d write=%v ready=%d blocked=%v targets=%d}",
 			p.baseLine, p.lines, p.write, p.ready, p.blocked, len(p.targets))
 	}
@@ -248,7 +317,7 @@ func (c *Coalescer) Push(now uint64, r Request) {
 		// Conventional MHA: the miss goes straight at the MSHRs.
 		c.enqueuePacket(now, packet{
 			baseLine: r.Line, lines: 1, write: r.Write,
-			targets: []mshr.Target{{Line: r.Line, Token: r.Token, Payload: r.Payload}},
+			targets: append(c.getTargets(), mshr.Target{Line: r.Line, Token: r.Token, Payload: r.Payload}),
 			ready:   now,
 		})
 		c.drainCRQ(now)
@@ -262,7 +331,7 @@ func (c *Coalescer) Push(now uint64, r Request) {
 	if c.file.Full() {
 		c.bypassOn = false
 		c.idleSince = ^uint64(0)
-	} else if len(c.crq) == 0 && len(c.pending) == 0 && len(c.inflight) == 0 {
+	} else if c.crqLen == 0 && len(c.pending) == 0 && len(c.inflight) == 0 {
 		if c.idleSince == ^uint64(0) {
 			c.idleSince = now
 		}
@@ -276,12 +345,12 @@ func (c *Coalescer) Push(now uint64, r Request) {
 	} else {
 		c.idleSince = ^uint64(0)
 	}
-	if c.cfg.Bypass && c.bypassOn && len(c.pending) == 0 && len(c.crq) == 0 && !c.file.Full() {
+	if c.cfg.Bypass && c.bypassOn && len(c.pending) == 0 && c.crqLen == 0 && !c.file.Full() {
 		// Idle coalescer, free MSHRs — skip the sorter entirely.
 		c.stats.Bypassed++
 		c.enqueuePacket(now, packet{
 			baseLine: r.Line, lines: 1, write: r.Write,
-			targets: []mshr.Target{{Line: r.Line, Token: r.Token, Payload: r.Payload}},
+			targets: append(c.getTargets(), mshr.Target{Line: r.Line, Token: r.Token, Payload: r.Payload}),
 			ready:   now,
 		})
 		c.drainCRQ(now)
@@ -346,8 +415,10 @@ func (c *Coalescer) NextEvent() (uint64, bool) {
 	if len(c.inflight) > 0 && c.inflight[0].tick < next {
 		next = c.inflight[0].tick
 	}
-	if len(c.crq) > 0 && c.crq[0].ready > c.lastAdvance && c.crq[0].ready < next {
-		next = c.crq[0].ready
+	if c.crqLen > 0 {
+		if ready := c.crqFront().ready; ready > c.lastAdvance && ready < next {
+			next = ready
+		}
 	}
 	return next, next != ^uint64(0)
 }
@@ -361,13 +432,15 @@ func (c *Coalescer) Drain(now uint64) uint64 {
 		c.flush(now, flushDrain)
 	}
 	idle := now
-	for len(c.inflight) > 0 || len(c.crq) > 0 {
+	for len(c.inflight) > 0 || c.crqLen > 0 {
 		next := ^uint64(0)
 		if len(c.inflight) > 0 {
 			next = c.inflight[0].tick
 		}
-		if len(c.crq) > 0 && c.crq[0].ready > idle && c.crq[0].ready < next {
-			next = c.crq[0].ready
+		if c.crqLen > 0 {
+			if ready := c.crqFront().ready; ready > idle && ready < next {
+				next = ready
+			}
 		}
 		if next == ^uint64(0) {
 			// The CRQ head is ready but blocked with nothing in flight.
@@ -387,7 +460,8 @@ func (c *Coalescer) Drain(now uint64) uint64 {
 }
 
 func (c *Coalescer) completeOne() {
-	item := heap.Pop(&c.inflight).(completion)
+	var item completion
+	c.inflight, item = completionPop(c.inflight)
 	subs := c.file.Complete(item.entry)
 	c.freedAt = item.tick
 	c.complete(item.tick, subs)

@@ -706,7 +706,8 @@ func TestSplitPacketChunking(t *testing.T) {
 		{3, 2, []chunk{{3, 2}}}, // caller guarantees block bounds; split is size-only
 	}
 	for _, c := range cases {
-		got := splitPacket(c.base, c.length)
+		var buf [maxChunks]chunk
+		got := buf[:splitPacket(c.base, c.length, &buf)]
 		if len(got) != len(c.want) {
 			t.Errorf("splitPacket(%d, %d) = %v, want %v", c.base, c.length, got, c.want)
 			continue

@@ -1,7 +1,6 @@
 package coalescer
 
 import (
-	"container/heap"
 	"fmt"
 
 	"hmccoal/internal/mshr"
@@ -24,7 +23,9 @@ const (
 // closed the sequence.
 func (c *Coalescer) flush(now uint64, cause flushCause) {
 	batch := c.pending
-	c.pending = nil
+	// The buffer is reused for the next sequence; batch stays valid for the
+	// rest of this flush because nothing can Push before it returns.
+	c.pending = c.pending[:0]
 	m := len(batch)
 	if m == 0 {
 		return
@@ -51,8 +52,10 @@ func (c *Coalescer) flush(now uint64, cause flushCause) {
 	c.sortFree = enter + c.pipe.IntervalCycles()
 
 	// Sort by the extended 54-bit key (§3.4): Type bit above the address
-	// separates loads from stores; invalid padding sinks to the tail.
-	keys := make([]uint64, c.cfg.Width)
+	// separates loads from stores; invalid padding sinks to the tail. The
+	// Width-sized working arrays are reused across flushes; stale entries
+	// past m carry pad keys and sink below every real request.
+	keys := c.flushKeys
 	for i, r := range batch {
 		kind := trace.Load
 		if r.Write {
@@ -60,11 +63,9 @@ func (c *Coalescer) flush(now uint64, cause flushCause) {
 		}
 		keys[i] = uint64(trace.MakeKey(r.Line, kind))
 	}
-	padded := make([]pendingReq, c.cfg.Width)
+	padded := c.flushPad
 	copy(padded, batch)
-	c.net.SortPrefix(keys, m, uint64(trace.InvalidKey()), func(i, j int) {
-		padded[i], padded[j] = padded[j], padded[i]
-	})
+	c.net.SortPrefix(keys, m, uint64(trace.InvalidKey()), c.padSwap)
 	sorted := padded[:m]
 	sortedAt := enter + c.pipe.LatencyCycles(m)
 	c.stats.SortCycles += c.pipe.LatencyCycles(m)
@@ -75,12 +76,13 @@ func (c *Coalescer) flush(now uint64, cause flushCause) {
 	// same-type request (MergeCycles each) until the packet would exceed
 	// the maximum HMC request or cross a block boundary.
 	var cost uint64
+	var chunks [maxChunks]chunk
 	i := 0
 	for i < m {
 		base := sorted[i]
 		blockStart := base.Line / c.linesBlock * c.linesBlock
 		end := base.Line + 1
-		targets := []mshr.Target{{Line: base.Line, Token: base.Token, Payload: base.Payload}}
+		targets := append(c.getTargets(), mshr.Target{Line: base.Line, Token: base.Token, Payload: base.Payload})
 		cost += c.cfg.CompareCycles
 		j := i + 1
 		for j < m && sorted[j].Write == base.Write {
@@ -100,14 +102,26 @@ func (c *Coalescer) flush(now uint64, cause flushCause) {
 			j++
 		}
 		ready := sortedAt + cost
-		for _, chunk := range splitPacket(base.Line, int(end-base.Line)) {
-			pkt := packet{baseLine: chunk.base, lines: chunk.len, write: base.Write, ready: ready}
-			for _, t := range targets {
-				if t.Line >= chunk.base && t.Line < chunk.base+uint64(chunk.len) {
-					pkt.targets = append(pkt.targets, t)
+		nChunks := splitPacket(base.Line, int(end-base.Line), &chunks)
+		if nChunks == 1 {
+			// Common case: the whole group is one legal packet — hand the
+			// target slice over without copying.
+			c.enqueuePacket(ready, packet{
+				baseLine: chunks[0].base, lines: chunks[0].len, write: base.Write,
+				targets: targets, ready: ready,
+			})
+		} else {
+			for ci := 0; ci < nChunks; ci++ {
+				ch := chunks[ci]
+				pkt := packet{baseLine: ch.base, lines: ch.len, write: base.Write, ready: ready, targets: c.getTargets()}
+				for _, t := range targets {
+					if t.Line >= ch.base && t.Line < ch.base+uint64(ch.len) {
+						pkt.targets = append(pkt.targets, t)
+					}
 				}
+				c.enqueuePacket(ready, pkt)
 			}
-			c.enqueuePacket(ready, pkt)
+			c.putTargets(targets)
 		}
 		i = j
 	}
@@ -130,10 +144,15 @@ type chunk struct {
 	len  int
 }
 
+// maxChunks bounds splitPacket's output: a DMC group spans at most
+// mshr.MaxLines (4) lines, which splits into at most 2+1 chunks.
+const maxChunks = 3
+
 // splitPacket breaks a contiguous line run into legal HMC packet sizes
-// (4, 2 or 1 cache lines → 256/128/64 B).
-func splitPacket(base uint64, length int) []chunk {
-	var out []chunk
+// (4, 2 or 1 cache lines → 256/128/64 B), filling out and returning the
+// chunk count.
+func splitPacket(base uint64, length int, out *[maxChunks]chunk) int {
+	n := 0
 	for length > 0 {
 		size := 1
 		switch {
@@ -142,11 +161,12 @@ func splitPacket(base uint64, length int) []chunk {
 		case length >= 2:
 			size = 2
 		}
-		out = append(out, chunk{base: base, len: size})
+		out[n] = chunk{base: base, len: size}
+		n++
 		base += uint64(size)
 		length -= size
 	}
-	return out
+	return n
 }
 
 // enqueuePacket appends a packet to the CRQ and maintains the fill-episode
@@ -158,10 +178,10 @@ func (c *Coalescer) enqueuePacket(now uint64, p packet) {
 	if c.fillCount == 0 {
 		c.fillStart = now
 	}
-	c.crq = append(c.crq, p)
+	c.crqPush(p)
 	c.stats.Packets++
-	if len(c.crq) > c.stats.CRQPeak {
-		c.stats.CRQPeak = len(c.crq)
+	if c.crqLen > c.stats.CRQPeak {
+		c.stats.CRQPeak = c.crqLen
 	}
 	c.fillCount++
 	if c.fillCount >= c.cfg.MSHR.Entries {
@@ -174,8 +194,8 @@ func (c *Coalescer) enqueuePacket(now uint64, p packet) {
 // drainCRQ advances the CRQ head into the MSHRs: second-phase coalescing,
 // entry allocation and memory dispatch. now is the current event tick.
 func (c *Coalescer) drainCRQ(now uint64) {
-	for len(c.crq) > 0 {
-		p := &c.crq[0]
+	for c.crqLen > 0 {
+		p := c.crqFront()
 		if p.ready > now {
 			return
 		}
@@ -213,17 +233,19 @@ func (c *Coalescer) drainCRQ(now uint64) {
 		for _, e := range out.Issued {
 			c.stats.HMCRequests++
 			done := c.issue(t, e)
-			heap.Push(&c.inflight, completion{tick: done, entry: e})
+			c.inflight = completionPush(c.inflight, completion{tick: done, entry: e})
 		}
 		c.lastIssue = t
 		if len(out.Unplaced) > 0 {
 			// Head blocks in FIFO order until an entry frees; the already
-			// placed waiters must not be retried.
-			p.targets = out.Unplaced
+			// placed waiters must not be retried. The unplaced set is a
+			// subset of the packet's own targets, so it fits in place —
+			// copying it frees the file's scratch buffer for the retry.
+			p.targets = append(p.targets[:0], out.Unplaced...)
 			p.blocked = true
 			return
 		}
-		c.crq = c.crq[1:]
+		c.crqPop()
 	}
 }
 
@@ -233,16 +255,46 @@ type completion struct {
 	entry *mshr.Entry
 }
 
-type completionHeap []completion
+// The in-flight min-heap is hand-inlined: container/heap's interface
+// indirection boxes every completion on push and pop, and this runs once
+// per memory request. The sift routines mirror container/heap exactly
+// (left child preferred on ties) so the pop order of same-tick completions
+// is unchanged.
 
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].tick < h[j].tick }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+// completionPush inserts x and returns the updated heap slice.
+func completionPush(h []completion, x completion) []completion {
+	h = append(h, x)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[i].tick >= h[p].tick {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+// completionPop removes the minimum completion, returning the shrunk slice
+// and the removed item.
+func completionPop(h []completion) ([]completion, completion) {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	item := h[n]
+	h = h[:n]
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && h[r].tick < h[j].tick {
+			j = r
+		}
+		if h[j].tick >= h[i].tick {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return h, item
 }

@@ -1,6 +1,9 @@
 package hmc
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Config describes the simulated device geometry and timing. All timing
 // parameters are in core clock cycles (3.3 GHz in the paper's setup).
@@ -93,10 +96,13 @@ type Request struct {
 // simulator owns it from a single goroutine.
 type Device struct {
 	cfg   Config
-	banks [][]bankState // [vault][bank]
-	links []duplex      // per-link ingress/egress busy-until
-	next  int           // round-robin link cursor
-	stats Stats
+	banks []bankState // flat [vault*BanksPerVault+bank]
+	links []duplex    // per-link ingress/egress busy-until
+	next  int         // round-robin link cursor
+	// sizeHist counts requests per packet size, indexed by size/FlitBytes;
+	// Stats materializes it into the exported map form on demand.
+	sizeHist []uint64
+	stats    Stats
 }
 
 type bankState struct {
@@ -119,17 +125,14 @@ func NewDevice(cfg Config) (*Device, error) {
 		return nil, err
 	}
 	d := &Device{cfg: cfg}
-	d.banks = make([][]bankState, cfg.Vaults)
-	for v := range d.banks {
-		d.banks[v] = make([]bankState, cfg.BanksPerVault)
-	}
+	d.banks = make([]bankState, cfg.Vaults*cfg.BanksPerVault)
 	d.links = make([]duplex, cfg.Links)
 	if cfg.LinkTokens > 0 {
 		for i := range d.links {
 			d.links[i].tokens = make([]uint64, cfg.LinkTokens)
 		}
 	}
-	d.stats.SizeHist = make(map[uint32]uint64)
+	d.sizeHist = make([]uint64, cfg.BlockBytes/FlitBytes+1)
 	d.stats.VaultRequests = make([]uint64, cfg.Vaults)
 	return d, nil
 }
@@ -207,7 +210,7 @@ func (d *Device) Submit(tick uint64, req Request) (uint64, error) {
 	// Open page (ablation): a row hit pays column + burst only; a row miss
 	// pays precharge + activate + column + burst.
 	v, b := d.vaultOf(addr), d.bankOf(addr)
-	bank := &d.banks[v][b]
+	bank := &d.banks[v*d.cfg.BanksPerVault+b]
 	start := max64(atVault, bank.busyUntil)
 	if bank.busyUntil > atVault {
 		d.stats.BankConflicts++
@@ -253,7 +256,7 @@ func (d *Device) Submit(tick uint64, req Request) (uint64, error) {
 	} else {
 		d.stats.Reads++
 	}
-	d.stats.SizeHist[req.PacketBytes]++
+	d.sizeHist[req.PacketBytes/FlitBytes]++
 	d.stats.PacketBytes += uint64(req.PacketBytes)
 	d.stats.RequestedBytes += uint64(req.RequestedBytes)
 	d.stats.TransferredBytes += (reqFlits + respFlits) * FlitBytes
@@ -263,12 +266,16 @@ func (d *Device) Submit(tick uint64, req Request) (uint64, error) {
 	return done, nil
 }
 
-// Stats returns a copy of the accumulated device statistics.
+// Stats returns a copy of the accumulated device statistics. The returned
+// SizeHist map is materialized fresh from the device's internal histogram,
+// so callers may mutate it freely.
 func (d *Device) Stats() Stats {
 	s := d.stats
-	s.SizeHist = make(map[uint32]uint64, len(d.stats.SizeHist))
-	for k, v := range d.stats.SizeHist {
-		s.SizeHist[k] = v
+	s.SizeHist = make(map[uint32]uint64)
+	for i, n := range d.sizeHist {
+		if n != 0 {
+			s.SizeHist[uint32(i)*FlitBytes] = n
+		}
 	}
 	s.VaultRequests = append([]uint64(nil), d.stats.VaultRequests...)
 	return s
@@ -276,10 +283,8 @@ func (d *Device) Stats() Stats {
 
 // Reset clears the device state and statistics.
 func (d *Device) Reset() {
-	for v := range d.banks {
-		for b := range d.banks[v] {
-			d.banks[v][b] = bankState{}
-		}
+	for i := range d.banks {
+		d.banks[i] = bankState{}
 	}
 	for i := range d.links {
 		d.links[i] = duplex{}
@@ -288,16 +293,18 @@ func (d *Device) Reset() {
 		}
 	}
 	d.next = 0
-	d.stats = Stats{
-		SizeHist:      make(map[uint32]uint64),
-		VaultRequests: make([]uint64, d.cfg.Vaults),
+	for i := range d.sizeHist {
+		d.sizeHist[i] = 0
 	}
+	d.stats = Stats{VaultRequests: make([]uint64, d.cfg.Vaults)}
 }
 
 // Stats aggregates device activity.
 type Stats struct {
 	Requests, Reads, Writes uint64
-	// SizeHist counts requests per packet payload size.
+	// SizeHist counts requests per packet payload size. Device.Stats
+	// materializes it fresh on every call; use SizeHistSorted for
+	// deterministic iteration order in rendered output.
 	SizeHist map[uint32]uint64
 	// PacketBytes is the total FLIT-aligned payload moved.
 	PacketBytes uint64
@@ -314,6 +321,24 @@ type Stats struct {
 	ConflictWait  uint64 // cycles lost to busy banks
 	TokenWait     uint64 // cycles spent waiting for link flow-control tokens
 	LastDone      uint64 // completion tick of the latest response
+}
+
+// SizeCount is one row of the packet-size histogram.
+type SizeCount struct {
+	Size  uint32 // packet payload size in bytes
+	Count uint64 // requests of that size
+}
+
+// SizeHistSorted returns the packet-size histogram as (size, count) pairs
+// in ascending size order. Iterating SizeHist directly yields a random
+// order per run; every rendered view of the histogram goes through this.
+func (s Stats) SizeHistSorted() []SizeCount {
+	out := make([]SizeCount, 0, len(s.SizeHist))
+	for size, n := range s.SizeHist {
+		out = append(out, SizeCount{Size: size, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Size < out[j].Size })
+	return out
 }
 
 // BandwidthEfficiency is Equation 1 over the whole run: useful requested

@@ -203,6 +203,26 @@ func TestSizeHistogram(t *testing.T) {
 	}
 }
 
+func TestSizeHistSorted(t *testing.T) {
+	d := testDevice(t)
+	sizes := []uint32{256, 16, 128, 256, 16, 64, 16}
+	for i, sz := range sizes {
+		if _, err := d.Submit(uint64(i), Request{Addr: uint64(i) * 256, PacketBytes: sz, RequestedBytes: sz}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.Stats().SizeHistSorted()
+	want := []SizeCount{{16, 3}, {64, 1}, {128, 1}, {256, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("SizeHistSorted = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("SizeHistSorted[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestResetClearsState(t *testing.T) {
 	d := testDevice(t)
 	if _, err := d.Submit(0, Request{Addr: 0, PacketBytes: 64, RequestedBytes: 64}); err != nil {

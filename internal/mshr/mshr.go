@@ -118,6 +118,14 @@ type File struct {
 	entries []Entry
 	free    int
 	stats   Stats
+
+	// Scratch buffers reused across Insert calls so the steady state
+	// allocates nothing. keptBuf backs the unmerged-target working set;
+	// issuedBuf and unplacedBuf back Outcome.Issued/Unplaced, which are
+	// therefore only valid until the next Insert.
+	keptBuf     []Target
+	issuedBuf   []*Entry
+	unplacedBuf []Target
 }
 
 // Stats counts second-phase coalescing activity.
@@ -154,6 +162,8 @@ func NewFile(cfg Config) (*File, error) {
 	f := &File{cfg: cfg, entries: make([]Entry, cfg.Entries), free: cfg.Entries}
 	for i := range f.entries {
 		f.entries[i].index = i
+		// Fixed subentry backing, reused across the entry's lifetimes.
+		f.entries[i].subs = make([]Sub, 0, cfg.MaxSubentries)
 	}
 	return f, nil
 }
@@ -173,14 +183,17 @@ func (f *File) Stats() Stats { return f.stats }
 // Outcome reports what happened to one Insert.
 type Outcome struct {
 	// Issued lists the entries newly allocated by this insert; the caller
-	// must dispatch one memory request per entry.
+	// must dispatch one memory request per entry. The slice is backed by a
+	// buffer the file reuses: it is valid only until the next Insert.
 	Issued []*Entry
 	// MergedTargets is how many of the request's waiters were absorbed
 	// into pre-existing entries.
 	MergedTargets int
 	// Unplaced holds the waiters that could not be merged or allocated
 	// because the file (or a subentry list) was full. The caller retries
-	// them later, preserving FIFO order from the CRQ.
+	// them later, preserving FIFO order from the CRQ. Like Issued, the
+	// slice is reused by the next Insert; callers that need it longer must
+	// copy it.
 	Unplaced []Target
 	// Split reports whether a Case-B partial overlap occurred.
 	Split bool
@@ -207,13 +220,15 @@ func (f *File) Insert(baseLine uint64, lines int, write bool, targets []Target) 
 	}
 
 	var out Outcome
+	out.Issued = f.issuedBuf[:0]
+	out.Unplaced = f.unplacedBuf[:0]
 	remaining := targets
 
 	// Phase 1: merge waiters into existing same-type entries that cover
 	// their lines (Cases A and B). All entries are compared at once in
 	// hardware; sequentially scanning is equivalent.
-	mergedLines := make(map[uint64]bool)
-	var kept []Target
+	anyMerged := false
+	kept := f.keptBuf[:0]
 	for _, t := range remaining {
 		var e *Entry
 		if !f.cfg.DisableMerge {
@@ -231,14 +246,15 @@ func (f *File) Insert(baseLine uint64, lines int, write bool, targets []Target) 
 		}
 		e.subs = append(e.subs, Sub{LineID: uint8(t.Line - e.baseLine), Token: t.Token})
 		e.payload += uint64(t.Payload)
-		mergedLines[t.Line] = true
+		anyMerged = true
 		out.MergedTargets++
 		f.stats.MergedTargets++
 	}
+	f.keptBuf = kept
 	remaining = kept
 
 	// Detect a Case-B split: some lines merged, some did not.
-	if len(mergedLines) > 0 && len(remaining) > 0 {
+	if anyMerged && len(remaining) > 0 {
 		out.Split = true
 		f.stats.SplitRequests++
 	}
@@ -246,9 +262,12 @@ func (f *File) Insert(baseLine uint64, lines int, write bool, targets []Target) 
 	// Phase 2: re-packetize the leftover lines into contiguous runs and
 	// allocate fresh entries. Runs are split greedily into legal sizes
 	// (4, 2, 1 lines).
-	runs := lineRuns(remaining, baseLine, lines)
-	for _, r := range runs {
-		for _, chunk := range splitRun(r.base, r.len) {
+	var runs, chunks [MaxLines]run
+	nRuns := lineRuns(remaining, baseLine, lines, &runs)
+	for ri := 0; ri < nRuns; ri++ {
+		nChunks := splitRun(runs[ri].base, runs[ri].len, &chunks)
+		for ci := 0; ci < nChunks; ci++ {
+			chunk := chunks[ci]
 			if f.free == 0 {
 				// File packed: everything not yet placed is returned.
 				for _, t := range remaining {
@@ -257,6 +276,8 @@ func (f *File) Insert(baseLine uint64, lines int, write bool, targets []Target) 
 					}
 				}
 				f.stats.FullStalls++
+				f.issuedBuf = out.Issued
+				f.unplacedBuf = out.Unplaced
 				return out, nil
 			}
 			e := f.alloc(chunk.base, chunk.len, write)
@@ -269,6 +290,8 @@ func (f *File) Insert(baseLine uint64, lines int, write bool, targets []Target) 
 			out.Issued = append(out.Issued, e)
 		}
 	}
+	f.issuedBuf = out.Issued
+	f.unplacedBuf = out.Unplaced
 	return out, nil
 }
 
@@ -303,13 +326,13 @@ func (f *File) alloc(baseLine uint64, lines int, write bool) *Entry {
 	for i := range f.entries {
 		e := &f.entries[i]
 		if !e.valid {
-			*e = Entry{
-				valid:    true,
-				write:    write,
-				baseLine: baseLine,
-				lines:    uint8(lines),
-				index:    i,
-			}
+			// Field-wise reset keeps the entry's fixed subentry backing.
+			e.valid = true
+			e.write = write
+			e.baseLine = baseLine
+			e.lines = uint8(lines)
+			e.subs = e.subs[:0]
+			e.payload = 0
 			f.free--
 			f.stats.Allocations++
 			return e
@@ -320,13 +343,18 @@ func (f *File) alloc(baseLine uint64, lines int, write bool) *Entry {
 
 // Complete frees the entry and returns its subentries' tokens so the
 // caller can notify the waiters (Equation 2 reconstructs each address).
+// The returned slice aliases the entry's reusable backing: it is valid
+// only until the entry is allocated again.
 func (f *File) Complete(e *Entry) []Sub {
 	if !e.valid {
 		panic(fmt.Sprintf("mshr: Complete on invalid entry %d", e.index))
 	}
 	subs := e.subs
-	idx := e.index
-	*e = Entry{index: idx}
+	e.valid = false
+	e.write = false
+	e.baseLine = 0
+	e.lines = 0
+	e.payload = 0
 	f.free++
 	f.stats.Completions++
 	return subs
@@ -345,13 +373,15 @@ type run struct {
 }
 
 // lineRuns groups the targets' distinct lines into maximal contiguous runs
-// within [baseLine, baseLine+lines).
-func lineRuns(targets []Target, baseLine uint64, lines int) []run {
+// within [baseLine, baseLine+lines), filling out and returning the count.
+// A request spans at most MaxLines lines, so the run count is bounded and
+// the result lives on the caller's stack.
+func lineRuns(targets []Target, baseLine uint64, lines int, out *[MaxLines]run) int {
 	var present [MaxLines]bool
 	for _, t := range targets {
 		present[t.Line-baseLine] = true
 	}
-	var runs []run
+	n := 0
 	for i := 0; i < lines; i++ {
 		if !present[i] {
 			continue
@@ -360,17 +390,19 @@ func lineRuns(targets []Target, baseLine uint64, lines int) []run {
 		for j < lines && present[j] {
 			j++
 		}
-		runs = append(runs, run{base: baseLine + uint64(i), len: j - i})
+		out[n] = run{base: baseLine + uint64(i), len: j - i}
+		n++
 		i = j
 	}
-	return runs
+	return n
 }
 
-// splitRun breaks a contiguous run into legal entry sizes (4, 2, 1 lines).
-// A 4-line chunk is only possible for a full run of 4, which — because
-// coalesced requests never cross HMC blocks — is necessarily block-aligned.
-func splitRun(base uint64, length int) []run {
-	var out []run
+// splitRun breaks a contiguous run into legal entry sizes (4, 2, 1 lines),
+// filling out and returning the count. A 4-line chunk is only possible for
+// a full run of 4, which — because coalesced requests never cross HMC
+// blocks — is necessarily block-aligned.
+func splitRun(base uint64, length int, out *[MaxLines]run) int {
+	n := 0
 	for length > 0 {
 		size := 1
 		switch {
@@ -379,9 +411,10 @@ func splitRun(base uint64, length int) []run {
 		case length >= 2:
 			size = 2
 		}
-		out = append(out, run{base: base, len: size})
+		out[n] = run{base: base, len: size}
+		n++
 		base += uint64(size)
 		length -= size
 	}
-	return out
+	return n
 }

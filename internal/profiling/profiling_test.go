@@ -1,0 +1,49 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartWritesAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "run.trace")
+	stop, err := Start(cpu, mem, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have something to record.
+	sink := make([]byte, 0, 1<<16)
+	for i := 0; i < 1<<16; i++ {
+		sink = append(sink, byte(i))
+	}
+	_ = sink
+	stop()
+	for _, p := range []string{cpu, mem, tr} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s not written: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartNoopWithoutPaths(t *testing.T) {
+	stop, err := Start("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must not panic
+}
+
+func TestStartRejectsBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu"), "", ""); err == nil {
+		t.Error("unwritable cpu profile path accepted")
+	}
+}

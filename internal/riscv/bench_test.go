@@ -1,0 +1,51 @@
+package riscv
+
+import (
+	"testing"
+
+	"hmccoal/internal/trace"
+)
+
+// BenchmarkStep measures the emulator's instruction loop over the VecAdd
+// kernel — fetch, decode, and the sparse-memory load/store path that
+// dominates trace generation. The program is reloaded when it halts so
+// every iteration executes exactly one instruction.
+func BenchmarkStep(b *testing.B) {
+	prog, err := Assemble(VecAddProgram(1 << 20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nop := func(a trace.Access) {}
+	cpu := NewCPU()
+	cpu.LoadProgram(0x1000, prog)
+	cpu.SetTracer(nop)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cpu.Halted() {
+			b.StopTimer()
+			cpu = NewCPU()
+			cpu.LoadProgram(0x1000, prog)
+			cpu.SetTracer(nop)
+			b.StartTimer()
+		}
+		if err := cpu.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemoryWalk measures the sparse-memory page path directly: a
+// strided store/load walk over a 64 MiB footprint.
+func BenchmarkMemoryWalk(b *testing.B) {
+	cpu := NewCPU()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i*4096+i*8) % (64 << 20)
+		cpu.store(addr, 8, uint64(i))
+		if v := cpu.load(addr, 8); v != uint64(i) {
+			b.Fatalf("memory corruption at %#x", addr)
+		}
+	}
+}

@@ -21,12 +21,26 @@ const XLEN = 64
 const pageBits = 12
 const pageSize = 1 << pageBits
 
+// dirBits is the second-level fan-out of the sparse memory: one directory
+// covers 2^dirBits pages (4 MB). The top level stays a map because RV64
+// addresses span the full 64-bit space, but a program's working set hits a
+// handful of directories, so the per-access map lookup all but disappears.
+const dirBits = 10
+const dirSize = 1 << dirBits
+
+// pageDir is one second-level block of the two-level page table.
+type pageDir [dirSize]*[pageSize]byte
+
 // CPU is a single RV64I hart with a sparse byte-addressed memory.
 type CPU struct {
-	X      [32]uint64 // integer registers; X[0] is hardwired to zero
-	PC     uint64
-	mem    map[uint64]*[pageSize]byte
-	tracer Tracer
+	X  [32]uint64 // integer registers; X[0] is hardwired to zero
+	PC uint64
+	// dirs is the two-level page table; lastBase/lastPage cache the most
+	// recently touched page so sequential bytes skip the table walk.
+	dirs     map[uint64]*pageDir
+	lastBase uint64
+	lastPage *[pageSize]byte
+	tracer   Tracer
 	// InstrTicks is the cycle cost charged per retired instruction when
 	// stamping trace events (default 1).
 	InstrTicks uint64
@@ -40,7 +54,7 @@ type CPU struct {
 
 // NewCPU returns a hart with empty memory.
 func NewCPU() *CPU {
-	return &CPU{mem: make(map[uint64]*[pageSize]byte), InstrTicks: 1}
+	return &CPU{dirs: make(map[uint64]*pageDir), InstrTicks: 1}
 }
 
 // SetTracer installs the memory-event hook.
@@ -51,11 +65,20 @@ func (c *CPU) Halted() bool { return c.halted }
 
 func (c *CPU) page(addr uint64) *[pageSize]byte {
 	base := addr >> pageBits
-	p, ok := c.mem[base]
-	if !ok {
-		p = new([pageSize]byte)
-		c.mem[base] = p
+	if p := c.lastPage; p != nil && base == c.lastBase {
+		return p
 	}
+	dir := c.dirs[base>>dirBits]
+	if dir == nil {
+		dir = new(pageDir)
+		c.dirs[base>>dirBits] = dir
+	}
+	p := dir[base&(dirSize-1)]
+	if p == nil {
+		p = new([pageSize]byte)
+		dir[base&(dirSize-1)] = p
+	}
+	c.lastBase, c.lastPage = base, p
 	return p
 }
 
@@ -79,9 +102,17 @@ func (c *CPU) WriteMem(addr uint64, data []byte) {
 
 func (c *CPU) load(addr uint64, size int) uint64 {
 	var v uint64
-	for i := 0; i < size; i++ {
-		a := addr + uint64(i)
-		v |= uint64(c.page(a)[a&(pageSize-1)]) << (8 * i)
+	if off := addr & (pageSize - 1); off+uint64(size) <= pageSize {
+		// Common case: the access stays inside one page — walk it once.
+		p := c.page(addr)
+		for i := 0; i < size; i++ {
+			v |= uint64(p[off+uint64(i)]) << (8 * i)
+		}
+	} else {
+		for i := 0; i < size; i++ {
+			a := addr + uint64(i)
+			v |= uint64(c.page(a)[a&(pageSize-1)]) << (8 * i)
+		}
 	}
 	if c.tracer != nil {
 		c.tracer(trace.Access{Addr: addr, Size: uint32(size), Kind: trace.Load, CPU: c.Hart, Tick: c.Cycle})
@@ -90,9 +121,16 @@ func (c *CPU) load(addr uint64, size int) uint64 {
 }
 
 func (c *CPU) store(addr uint64, size int, v uint64) {
-	for i := 0; i < size; i++ {
-		a := addr + uint64(i)
-		c.page(a)[a&(pageSize-1)] = byte(v >> (8 * i))
+	if off := addr & (pageSize - 1); off+uint64(size) <= pageSize {
+		p := c.page(addr)
+		for i := 0; i < size; i++ {
+			p[off+uint64(i)] = byte(v >> (8 * i))
+		}
+	} else {
+		for i := 0; i < size; i++ {
+			a := addr + uint64(i)
+			c.page(a)[a&(pageSize-1)] = byte(v >> (8 * i))
+		}
 	}
 	if c.tracer != nil {
 		c.tracer(trace.Access{Addr: addr, Size: uint32(size), Kind: trace.Store, CPU: c.Hart, Tick: c.Cycle})
@@ -260,6 +298,10 @@ func (c *CPU) illegal(raw uint32) error {
 // load64NoTrace fetches an instruction word without generating a trace
 // event (instruction fetch is not part of the studied data traffic).
 func (c *CPU) load64NoTrace(addr uint64) uint64 {
+	if off := addr & (pageSize - 1); off <= pageSize-4 {
+		p := c.page(addr)
+		return uint64(p[off]) | uint64(p[off+1])<<8 | uint64(p[off+2])<<16 | uint64(p[off+3])<<24
+	}
 	var v uint64
 	for i := 0; i < 4; i++ {
 		a := addr + uint64(i)

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"hmccoal/internal/trace"
+)
+
+func TestLowestParked(t *testing.T) {
+	cases := []struct {
+		parked []bool
+		want   int
+	}{
+		{[]bool{false, true, true, false}, 1},
+		{[]bool{true, true}, 0},
+		{[]bool{false, false, false, true}, 3},
+		{[]bool{false, false}, 0}, // nothing parked: defensive default
+	}
+	for _, c := range cases {
+		if got := lowestParked(c.parked); got != c.want {
+			t.Errorf("lowestParked(%v) = %d, want %d", c.parked, got, c.want)
+		}
+	}
+}
+
+// TestDeadlockMessageStable locks the deadlock diagnostic's exact wording:
+// it must name the lowest-numbered parked CPU and render the same bytes on
+// every run so deadlocks are comparable across reports.
+func TestDeadlockMessageStable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hierarchy.CPUs = 2
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.deadlockError([]bool{true, true}, []uint64{7, 480}, []bool{false, true}).Error()
+	want := "sim: deadlock: CPU 0 parked (fence=false) at 7 with no memory events; " +
+		"outstanding=[0 0] tokens=0/0 pending=0 crq=0: lastAdvance=0 freedAt=0 lastIssue=0 free=16"
+	if got != want {
+		t.Errorf("deadlock message drifted:\n got %q\nwant %q", got, want)
+	}
+	// Both CPUs parked: the report must pick CPU 0, not the last to park.
+	late := s.deadlockError([]bool{false, true}, []uint64{7, 480}, []bool{false, true}).Error()
+	if !strings.Contains(late, "CPU 1 parked (fence=true) at 480") {
+		t.Errorf("wrong CPU reported: %q", late)
+	}
+}
+
+// TestSameCoreRetouchWindow exercises the in-flight line re-touch logic in
+// Run: a second touch of a line whose fill is outstanding is absorbed when
+// it comes from the same core inside sameCoreWindow (the private L1 MSHR
+// subentry effect), but regenerates an LLC request when it comes from a
+// different core or after the window.
+func TestSameCoreRetouchWindow(t *testing.T) {
+	run := func(second trace.Access) Result {
+		t.Helper()
+		cfg := DefaultConfig()
+		cfg.Mode = Baseline
+		cfg.Hierarchy.CPUs = 2
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run([]trace.Access{
+			{Addr: 0, Size: 8, Kind: trace.Load, CPU: 0, Tick: 0},
+			second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	absorbed := run(trace.Access{Addr: 8, Size: 8, Kind: trace.Load, CPU: 0, Tick: 10})
+	crossCore := run(trace.Access{Addr: 8, Size: 8, Kind: trace.Load, CPU: 1, Tick: 10})
+	lateSame := run(trace.Access{Addr: 8, Size: 8, Kind: trace.Load, CPU: 0, Tick: sameCoreWindow + 52})
+
+	if crossCore.Coalescer.Requests != absorbed.Coalescer.Requests+1 {
+		t.Errorf("cross-core re-touch not regenerated: %d requests vs %d absorbed",
+			crossCore.Coalescer.Requests, absorbed.Coalescer.Requests)
+	}
+	if lateSame.Coalescer.Requests != absorbed.Coalescer.Requests+1 {
+		t.Errorf("post-window same-core re-touch not regenerated: %d requests vs %d absorbed",
+			lateSame.Coalescer.Requests, absorbed.Coalescer.Requests)
+	}
+}

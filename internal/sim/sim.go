@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
 
@@ -192,7 +191,9 @@ type System struct {
 	// for the fetching core itself only once the touch comes from a later
 	// instruction window (earlier touches are deduplicated by the core's
 	// private L1 MSHR subentries and never reach the LLC).
-	fetching map[uint64]fetchInfo
+	//
+	// The table is open-addressed and keyed by line; see fetchtable.go.
+	fetching fetchTable
 }
 
 // fetchInfo records who started an outstanding line fill and when.
@@ -264,10 +265,10 @@ func NewSystem(cfg Config) (*System, error) {
 				idx := sub.Token % uint64(len(s.tokenCPU))
 				s.outstanding[s.tokenCPU[idx]]--
 				s.doneTok++
-				// The line's fill has arrived; it is no longer outstanding.
-				if line := s.tokenLine[idx]; s.fetching[line].token == sub.Token {
-					delete(s.fetching, line)
-				}
+				// The line's fill has arrived: stamping the token's ring slot
+				// invalidates the line's fetch-table entry (if this token owns
+				// it) without touching the table itself.
+				s.tokenLine[idx] = fetchDone
 			}
 		})
 	if err != nil {
@@ -279,7 +280,8 @@ func NewSystem(cfg Config) (*System, error) {
 	ring := (cfg.MaxOutstanding + cfg.Coalescer.Width + cfg.Coalescer.MSHR.Entries*8) * cfg.Hierarchy.CPUs
 	s.tokenCPU = make([]uint8, ring)
 	s.tokenLine = make([]uint64, ring)
-	s.fetching = make(map[uint64]fetchInfo)
+	// Live fetch-table entries are bounded by the demand-miss budget.
+	s.fetching = newFetchTable(cfg.MaxOutstanding * cfg.Hierarchy.CPUs)
 	return s, nil
 }
 
@@ -297,61 +299,87 @@ func (s *System) Config() Config { return s.cfg }
 // re-armed by memory progress; crucially the memory system is never
 // advanced past a runnable core's next access, so causality holds.
 func (s *System) Run(accs []trace.Access) (Result, error) {
-	streams := make([][]trace.Access, s.cfg.Hierarchy.CPUs)
-	for _, a := range accs {
-		if int(a.CPU) >= len(streams) {
-			return Result{}, fmt.Errorf("sim: access from CPU %d, system has %d", a.CPU, len(streams))
+	if len(accs) > 1<<31-1 {
+		return Result{}, fmt.Errorf("sim: trace too long (%d accesses)", len(accs))
+	}
+	cpus := s.cfg.Hierarchy.CPUs
+	// Pre-bucket the trace per CPU in CSR form: int32 index slices into the
+	// caller's accs instead of copying the accesses. streamOff[c] ..
+	// streamOff[c+1] delimits CPU c's indices within streamIdx.
+	streamOff := make([]int32, cpus+1)
+	for i := range accs {
+		if int(accs[i].CPU) >= cpus {
+			return Result{}, fmt.Errorf("sim: access from CPU %d, system has %d", accs[i].CPU, cpus)
 		}
-		streams[a.CPU] = append(streams[a.CPU], a)
+		streamOff[int(accs[i].CPU)+1]++
 	}
-	var cursors cursorHeap
-	for cpu, st := range streams {
-		if len(st) > 0 {
-			cursors = append(cursors, cursor{tick: st[0].Tick, cpu: uint8(cpu)})
+	for c := 0; c < cpus; c++ {
+		streamOff[c+1] += streamOff[c]
+	}
+	streamIdx := make([]int32, len(accs))
+	fill := make([]int32, cpus)
+	copy(fill, streamOff[:cpus])
+	for i := range accs {
+		c := accs[i].CPU
+		streamIdx[fill[c]] = int32(i)
+		fill[c]++
+	}
+	streamLen := func(cpu uint8) int32 { return streamOff[int(cpu)+1] - streamOff[cpu] }
+	streamAt := func(cpu uint8, p int32) *trace.Access {
+		return &accs[streamIdx[streamOff[cpu]+p]]
+	}
+	cursors := make([]cursor, 0, cpus)
+	for cpu := 0; cpu < cpus; cpu++ {
+		if streamLen(uint8(cpu)) > 0 {
+			cursors = cursorPush(cursors, cursor{tick: streamAt(uint8(cpu), 0).Tick, cpu: uint8(cpu)})
 		}
 	}
-	heap.Init(&cursors)
-	pos := make([]int, len(streams))
-	type parkedCPU struct {
-		tick  uint64 // when it parked (stall start)
-		fence bool   // waiting for outstanding == 0 rather than < budget
-	}
-	parked := map[uint8]parkedCPU{}
-	fenceSignaled := make([]bool, len(streams))
+	pos := make([]int32, cpus)
+	// Parked-core bookkeeping as fixed per-CPU arrays (indexed by CPU
+	// number) so parking, waking and diagnostics are map-free and walk the
+	// cores in index order — deterministic by construction.
+	parkedTick := make([]uint64, cpus) // when the core parked (stall start)
+	parkedFence := make([]bool, cpus)  // waiting for outstanding == 0 rather than < budget
+	isParked := make([]bool, cpus)
+	nParked := 0
+	fenceSignaled := make([]bool, cpus)
 	var last uint64
 
 	// wake moves parked CPUs whose condition now holds back into the
 	// cursor heap at the wake tick.
 	wake := func(now uint64) {
-		for cpu, p := range parked {
-			ready := (p.fence && s.outstanding[cpu] == 0) ||
-				(!p.fence && s.outstanding[cpu] < s.cfg.MaxOutstanding)
+		if nParked == 0 {
+			return
+		}
+		for cpu := 0; cpu < cpus; cpu++ {
+			if !isParked[cpu] {
+				continue
+			}
+			ready := (parkedFence[cpu] && s.outstanding[cpu] == 0) ||
+				(!parkedFence[cpu] && s.outstanding[cpu] < s.cfg.MaxOutstanding)
 			if !ready {
 				continue
 			}
-			if now > p.tick {
-				s.stall[cpu] += now - p.tick
+			if now > parkedTick[cpu] {
+				s.stall[cpu] += now - parkedTick[cpu]
 			}
-			t := p.tick
+			t := parkedTick[cpu]
 			if now > t {
 				t = now
 			}
-			heap.Push(&cursors, cursor{tick: t, cpu: cpu})
-			delete(parked, cpu)
+			cursors = cursorPush(cursors, cursor{tick: t, cpu: uint8(cpu)})
+			isParked[cpu] = false
+			nParked--
 		}
 	}
 
-	for cursors.Len() > 0 || len(parked) > 0 {
+	for len(cursors) > 0 || nParked > 0 {
 		memTick, memOK := s.coal.NextEvent()
 
 		// With no runnable CPU, only memory progress can unpark one.
-		if cursors.Len() == 0 {
+		if len(cursors) == 0 {
 			if !memOK {
-				cpu, p := anyParked(parked)
-				pend, crq := s.coal.QueueDepths()
-				return Result{}, fmt.Errorf(
-					"sim: deadlock: CPU %d parked (fence=%v) at %d with no memory events; outstanding=%v tokens=%d/%d pending=%d crq=%d: %s",
-					cpu, p.fence, p.tick, s.outstanding, s.doneTok, s.pushedTok, pend, crq, s.coal.DebugState())
+				return Result{}, s.deadlockError(isParked, parkedTick, parkedFence)
 			}
 			s.coal.Advance(memTick)
 			if memTick > last {
@@ -370,7 +398,7 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 		}
 
 		cpu := cur.cpu
-		a := streams[cpu][pos[cpu]]
+		a := streamAt(cpu, pos[cpu])
 		effTick := cur.tick
 
 		switch {
@@ -382,15 +410,21 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 				fenceSignaled[cpu] = true
 			}
 			if s.outstanding[cpu] > 0 {
-				heap.Pop(&cursors)
-				parked[cpu] = parkedCPU{tick: effTick, fence: true}
+				cursors = cursorPopRoot(cursors)
+				parkedTick[cpu] = effTick
+				parkedFence[cpu] = true
+				isParked[cpu] = true
+				nParked++
 				continue // cursor not advanced past the fence yet
 			}
 			fenceSignaled[cpu] = false
 		case s.outstanding[cpu] >= s.cfg.MaxOutstanding:
 			// MLP budget exhausted: park until a response frees a slot.
-			heap.Pop(&cursors)
-			parked[cpu] = parkedCPU{tick: effTick}
+			cursors = cursorPopRoot(cursors)
+			parkedTick[cpu] = effTick
+			parkedFence[cpu] = false
+			isParked[cpu] = true
+			nParked++
 			continue
 		default:
 			s.coal.Advance(effTick)
@@ -404,7 +438,7 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 				if !m.WriteBack {
 					tok = s.newToken(m.CPU, m.Line)
 					// Register the fill as outstanding until its response.
-					s.fetching[m.Line] = fetchInfo{token: tok, cpu: m.CPU, tick: effTick}
+					s.fetchInsert(m.Line, tok, m.CPU, effTick)
 					if nMissed < len(missedLines) {
 						missedLines[nMissed] = m.Line
 						nMissed++
@@ -438,7 +472,7 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 				if fresh {
 					continue
 				}
-				fi, busy := s.fetching[ln]
+				fi, busy := s.fetchLookup(ln)
 				if !busy {
 					continue
 				}
@@ -468,11 +502,11 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 		// Advance this CPU's cursor, carrying its accumulated delay.
 		delay := effTick - a.Tick
 		pos[cpu]++
-		if pos[cpu] < len(streams[cpu]) {
-			cursors[0].tick = streams[cpu][pos[cpu]].Tick + delay
-			heap.Fix(&cursors, 0)
+		if pos[cpu] < streamLen(cpu) {
+			cursors[0].tick = streamAt(cpu, pos[cpu]).Tick + delay
+			cursorFixRoot(cursors)
 		} else {
-			heap.Pop(&cursors)
+			cursors = cursorPopRoot(cursors)
 		}
 	}
 
@@ -514,13 +548,27 @@ func (s *System) newToken(cpu uint8, line uint64) uint64 {
 	return tok
 }
 
-// anyParked returns an arbitrary parked CPU for error reporting.
-func anyParked[V any](m map[uint8]V) (uint8, V) {
-	for k, v := range m {
-		return k, v
+// lowestParked returns the lowest-numbered parked CPU, so deadlock
+// diagnostics name the same core on every run of the same trace.
+func lowestParked(isParked []bool) int {
+	for cpu, p := range isParked {
+		if p {
+			return cpu
+		}
 	}
-	var zero V
-	return 0, zero
+	return 0
+}
+
+// deadlockError renders the no-progress diagnostic. The report is
+// deterministic: it names the lowest-numbered parked CPU regardless of the
+// order in which cores parked, so repeated runs of the same deadlocking
+// trace produce byte-identical messages.
+func (s *System) deadlockError(isParked []bool, parkedTick []uint64, parkedFence []bool) error {
+	cpu := lowestParked(isParked)
+	pend, crq := s.coal.QueueDepths()
+	return fmt.Errorf(
+		"sim: deadlock: CPU %d parked (fence=%v) at %d with no memory events; outstanding=%v tokens=%d/%d pending=%d crq=%d: %s",
+		cpu, parkedFence[cpu], parkedTick[cpu], s.outstanding, s.doneTok, s.pushedTok, pend, crq, s.coal.DebugState())
 }
 
 // cursor orders per-CPU trace positions by effective issue tick.
@@ -529,23 +577,59 @@ type cursor struct {
 	cpu  uint8
 }
 
-type cursorHeap []cursor
+// The cursor heap is hand-inlined (min-heap on (tick, cpu)) rather than
+// going through container/heap: the interface indirection there boxes every
+// pushed cursor onto the garbage-collected heap, and this is the
+// simulator's inner scheduling loop. The (tick, cpu) order is total — one
+// cursor per CPU — so the pop sequence is independent of the internal
+// array layout.
 
-func (h cursorHeap) Len() int { return len(h) }
-func (h cursorHeap) Less(i, j int) bool {
-	if h[i].tick != h[j].tick {
-		return h[i].tick < h[j].tick
+func cursorLess(a, b cursor) bool {
+	if a.tick != b.tick {
+		return a.tick < b.tick
 	}
-	return h[i].cpu < h[j].cpu
+	return a.cpu < b.cpu
 }
-func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(cursor)) }
-func (h *cursorHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+
+// cursorPush inserts c and returns the updated heap slice.
+func cursorPush(h []cursor, c cursor) []cursor {
+	h = append(h, c)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !cursorLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+// cursorFixRoot restores heap order after the root's tick changed in place.
+func cursorFixRoot(h []cursor) {
+	for i := 0; ; {
+		m := i
+		if l := 2*i + 1; l < len(h) && cursorLess(h[l], h[m]) {
+			m = l
+		}
+		if r := 2*i + 2; r < len(h) && cursorLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// cursorPopRoot removes the minimum cursor and returns the shrunk slice.
+func cursorPopRoot(h []cursor) []cursor {
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	cursorFixRoot(h)
+	return h
 }
 
 // Summary renders the run's key metrics as a human-readable block.
