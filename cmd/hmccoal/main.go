@@ -7,6 +7,7 @@
 //	hmccoal -fig all -workers 1      # same output, strictly serial
 //	hmccoal -fig 8 -ops 8000         # one figure at a larger scale
 //	hmccoal -fig 10 -bench HPCG      # Figure 10 for a chosen benchmark
+//	hmccoal -fig fault -bench STREAM # fault sweep: efficiency vs link BER
 //	hmccoal -list                    # list the benchmarks
 package main
 
@@ -27,12 +28,12 @@ import (
 // validFigs is the set of figure tokens the -fig flag accepts.
 var validFigs = map[string]bool{
 	"all": true, "1": true, "2": true, "8": true, "9": true, "10": true,
-	"11": true, "12": true, "13": true, "14": true, "15": true,
+	"11": true, "12": true, "13": true, "14": true, "15": true, "fault": true,
 }
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1,2,8,9,10,11,12,13,14,15 or 'all'")
+		fig     = flag.String("fig", "all", "figure to regenerate: 1,2,8,9,10,11,12,13,14,15, 'fault' or 'all'")
 		ops     = flag.Int("ops", 4000, "approximate memory operations per CPU (scale)")
 		seed    = flag.Int64("seed", 3, "workload random seed")
 		cpus    = flag.Int("cpus", 12, "number of simulated CPUs")
@@ -78,14 +79,14 @@ func main() {
 	for _, f := range strings.Split(*fig, ",") {
 		f = strings.TrimSpace(f)
 		if !validFigs[f] {
-			fatal(fmt.Errorf("unknown figure %q (valid: 1, 2, 8, 9, 10, 11, 12, 13, 14, 15, all)", f))
+			fatal(fmt.Errorf("unknown figure %q (valid: 1, 2, 8, 9, 10, 11, 12, 13, 14, 15, fault, all)", f))
 		}
 		want[f] = true
 	}
 	all := want["all"]
 	need := func(f string) bool { return all || want[f] }
 
-	if need("10") {
+	if need("10") || need("fault") {
 		if err := validBenchmark(*bench); err != nil {
 			fatal(err)
 		}
@@ -164,6 +165,15 @@ func main() {
 		if *chart {
 			fmt.Printf("\n%s", hmccoal.Figure15Chart(runs))
 		}
+	}
+	if need("fault") {
+		section(fmt.Sprintf("Fault sweep — efficiency and speedup vs link error rate (%s)", *bench))
+		rows, err := hmccoal.FaultSweepContext(ctx, *bench, p, uint64(*seed), nil, sweepOptions(*workers))
+		fmt.Fprintln(os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(hmccoal.FaultSweepTable(rows))
 	}
 }
 

@@ -16,7 +16,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
+	"hmccoal/internal/fault"
 	"hmccoal/internal/hmc"
 	"hmccoal/internal/profiling"
 	"hmccoal/internal/sweep"
@@ -30,6 +33,7 @@ func main() {
 		requests  = flag.Int("n", 100000, "number of requests")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
+		faults    = flag.String("faults", "", "link fault injection, e.g. seed=1,ber=1e-6[,drop=1e-7][,retries=3]")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -37,9 +41,14 @@ func main() {
 	)
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuprofile, *memprofile, *exectrace)
+	faultCfg, err := parseFaults(*faults)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fatal(err)
+	}
+
+	stopProf, perr := profiling.Start(*cpuprofile, *memprofile, *exectrace)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
 		os.Exit(1)
 	}
 	defer stopProf()
@@ -87,17 +96,20 @@ func main() {
 		return
 	}
 
-	dev := mustDevice()
+	dev, err := newDevice(faultCfg)
+	if err != nil {
+		fatal(err)
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	var last uint64
 	switch *pattern {
 	case "seq":
 		for i := 0; i < *requests; i++ {
-			last = submit(dev, uint64(i)*256, uint32(*size))
+			last = max(last, submit(dev, uint64(i)*256, uint32(*size)))
 		}
 	case "random":
 		for i := 0; i < *requests; i++ {
-			last = submit(dev, uint64(rng.Int63n(1<<25))*256, uint32(*size))
+			last = max(last, submit(dev, uint64(rng.Int63n(1<<25))*256, uint32(*size)))
 		}
 	case "scatter16":
 		// §2.2.1: 16 separate 16 B loads per 256 B block vs one coalesced
@@ -105,7 +117,7 @@ func main() {
 		for i := 0; i < *requests/16; i++ {
 			base := uint64(i) * 256
 			for j := uint64(0); j < 16; j++ {
-				last = submit(dev, base+j*16, 16)
+				last = max(last, submit(dev, base+j*16, 16))
 			}
 		}
 	default:
@@ -120,22 +132,63 @@ func main() {
 	fmt.Printf("  bandwidth efficiency %.2f%%\n", 100*s.BandwidthEfficiency())
 	fmt.Printf("  row activations      %d\n", s.RowActivations)
 	fmt.Printf("  bank conflicts       %d (wait %.1f µs)\n", s.BankConflicts, float64(s.ConflictWait)/3.3/1000)
-}
-
-func mustDevice() *hmc.Device {
-	dev, err := hmc.NewDevice(hmc.DefaultConfig())
-	if err != nil {
-		fatal(err)
+	if faultCfg.Enabled() {
+		fmt.Printf("  link retries         %d (%d retrains, %.2f MB retransmitted)\n",
+			s.Retries, s.RetrainEvents, float64(s.RetransmittedBytes)/1e6)
+		fmt.Printf("  poisoned responses   %d (%d dropped)\n", s.PoisonedResponses, s.DroppedResponses)
 	}
-	return dev
 }
 
+// parseFaults decodes the -faults flag: comma-separated key=value pairs.
+// An empty flag disables injection.
+func parseFaults(s string) (fault.Config, error) {
+	var cfg fault.Config
+	if s == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cfg, fmt.Errorf("-faults: %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(val, 0, 64)
+		case "ber":
+			cfg.BER, err = strconv.ParseFloat(val, 64)
+		case "drop":
+			cfg.DropRate, err = strconv.ParseFloat(val, 64)
+		case "retries":
+			cfg.MaxRetries, err = strconv.Atoi(val)
+		default:
+			return cfg, fmt.Errorf("-faults: unknown key %q (want seed, ber, drop, retries)", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("-faults: %s: %w", key, err)
+		}
+	}
+	return cfg, cfg.Validate()
+}
+
+func newDevice(f fault.Config) (*hmc.Device, error) {
+	cfg := hmc.DefaultConfig()
+	cfg.Fault = f
+	return hmc.NewDevice(cfg)
+}
+
+// submit issues one request and returns its completion tick. A dropped
+// response (fault injection) completes never; callers track the last
+// real tick, so NeverTick is simply ignored by the max.
 func submit(dev *hmc.Device, addr uint64, size uint32) uint64 {
-	done, err := dev.Submit(0, hmc.Request{Addr: addr, PacketBytes: size, RequestedBytes: size})
+	comp, err := dev.SubmitPacket(0, hmc.Request{Addr: addr, PacketBytes: size, RequestedBytes: size})
 	if err != nil {
 		fatal(err)
 	}
-	return done
+	if comp.Dropped {
+		return 0
+	}
+	return comp.Done
 }
 
 func fatal(err error) {

@@ -104,8 +104,9 @@ func Figure8Table(runs []BenchmarkRun) string {
 		b += r.DMCOnly.CoalescingEfficiency()
 		c += r.TwoPhase.CoalescingEfficiency()
 	}
-	n := float64(len(runs))
-	rows = append(rows, []string{"average", metrics.Pct(a / n), metrics.Pct(b / n), metrics.Pct(c / n)})
+	if n := float64(len(runs)); n > 0 {
+		rows = append(rows, []string{"average", metrics.Pct(a / n), metrics.Pct(b / n), metrics.Pct(c / n)})
+	}
 	return rows2(rows)
 }
 
@@ -123,8 +124,9 @@ func Figure9Table(runs []BenchmarkRun) string {
 		a += r.Payload.RawEfficiency()
 		b += r.Payload.CoalescedEfficiency()
 	}
-	n := float64(len(runs))
-	rows = append(rows, []string{"average", metrics.Pct(a / n), metrics.Pct(b / n)})
+	if n := float64(len(runs)); n > 0 {
+		rows = append(rows, []string{"average", metrics.Pct(a / n), metrics.Pct(b / n)})
+	}
 	return rows2(rows)
 }
 
@@ -163,10 +165,14 @@ func histTable(pairs [][2]uint64) string {
 	}
 	rows := [][]string{{"size", "requests", "share"}}
 	for _, p := range pairs {
+		share := 0.0
+		if total > 0 {
+			share = float64(p[1]) / float64(total)
+		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%d B", p[0]),
 			fmt.Sprintf("%d", p[1]),
-			metrics.Pct(float64(p[1]) / float64(total)),
+			metrics.Pct(share),
 		})
 	}
 	return rows2(rows)
@@ -180,7 +186,9 @@ func Figure11Table(runs []BenchmarkRun) string {
 		rows = append(rows, []string{r.Name, metrics.MB(r.Payload.SavedBytes())})
 		sum += r.Payload.SavedBytes()
 	}
-	rows = append(rows, []string{"average", metrics.MB(sum / int64(len(runs)))})
+	if len(runs) > 0 {
+		rows = append(rows, []string{"average", metrics.MB(sum / int64(len(runs)))})
+	}
 	return rows2(rows)
 }
 
@@ -193,7 +201,9 @@ func Figure12Table(runs []BenchmarkRun) string {
 		rows = append(rows, []string{r.Name, metrics.Ns(ns)})
 		sum += ns
 	}
-	rows = append(rows, []string{"average", metrics.Ns(sum / float64(len(runs)))})
+	if len(runs) > 0 {
+		rows = append(rows, []string{"average", metrics.Ns(sum / float64(len(runs)))})
+	}
 	return rows2(rows)
 }
 
@@ -206,7 +216,9 @@ func Figure13Table(runs []BenchmarkRun) string {
 		rows = append(rows, []string{r.Name, metrics.Ns(ns)})
 		sum += ns
 	}
-	rows = append(rows, []string{"average", metrics.Ns(sum / float64(len(runs)))})
+	if len(runs) > 0 {
+		rows = append(rows, []string{"average", metrics.Ns(sum / float64(len(runs)))})
+	}
 	return rows2(rows)
 }
 
@@ -231,8 +243,31 @@ func Figure15Table(runs []BenchmarkRun) string {
 		rows = append(rows, []string{r.Name, metrics.Pct(r.Speedup())})
 		sum += r.Speedup()
 	}
-	rows = append(rows, []string{"average", metrics.Pct(sum / float64(len(runs)))})
+	if len(runs) > 0 {
+		rows = append(rows, []string{"average", metrics.Pct(sum / float64(len(runs)))})
+	}
 	return rows2(rows)
+}
+
+// FaultSweepTable renders a fault sweep: device bandwidth efficiency per
+// architecture, the two-phase speedup, and the two-phase fault-recovery
+// counters (link retries, poisoned responses, cycles in degraded mode) at
+// each injected error rate.
+func FaultSweepTable(rows []FaultSweepRow) string {
+	out := [][]string{{"BER", "MSHR-based", "DMC unit", "two-phase", "speedup", "retries", "poisoned", "degraded"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%.0e", r.BER),
+			metrics.Pct(r.Baseline.HMC.BandwidthEfficiency()),
+			metrics.Pct(r.DMCOnly.HMC.BandwidthEfficiency()),
+			metrics.Pct(r.TwoPhase.HMC.BandwidthEfficiency()),
+			metrics.Pct(r.Speedup()),
+			fmt.Sprintf("%d", r.TwoPhase.HMC.Retries),
+			fmt.Sprintf("%d", r.TwoPhase.HMC.PoisonedResponses),
+			fmt.Sprintf("%d", r.TwoPhase.Coalescer.DegradedCycles),
+		})
+	}
+	return rows2(out)
 }
 
 // rows2 formats a table (indirection keeps metrics out of the public API).

@@ -29,6 +29,7 @@ package hmccoal
 import (
 	"fmt"
 
+	"hmccoal/internal/fault"
 	"hmccoal/internal/sim"
 	"hmccoal/internal/trace"
 	"hmccoal/internal/workloads"
@@ -52,6 +53,10 @@ type (
 	PayloadAnalysis = sim.PayloadAnalysis
 	// TraceParams scales a benchmark trace.
 	TraceParams = workloads.Params
+	// FaultConfig parameterizes deterministic link fault injection
+	// (Config.HMC.Fault): seeded bit error rate, drop rate and retry
+	// budget. The zero value disables injection entirely.
+	FaultConfig = fault.Config
 )
 
 // Miss-handling architectures under evaluation.

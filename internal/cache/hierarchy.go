@@ -54,14 +54,26 @@ type Hierarchy struct {
 	missBuf []Miss // reused across Access calls to keep the hot path allocation-free
 }
 
-// NewHierarchy builds the stack. All levels must share one line size.
-func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+// Validate checks the hierarchy shape without building it.
+func (cfg HierarchyConfig) Validate() error {
 	if cfg.CPUs <= 0 {
-		return nil, fmt.Errorf("cache: need at least one CPU")
+		return fmt.Errorf("cache: need at least one CPU")
+	}
+	if cfg.CPUs > 256 {
+		// Traces address cores with a uint8.
+		return fmt.Errorf("cache: %d CPUs exceeds the 256-core trace format limit", cfg.CPUs)
 	}
 	if cfg.L1.LineBytes != cfg.LLC.LineBytes || cfg.L2.LineBytes != cfg.LLC.LineBytes {
-		return nil, fmt.Errorf("cache: mismatched line sizes %d/%d/%d",
+		return fmt.Errorf("cache: mismatched line sizes %d/%d/%d",
 			cfg.L1.LineBytes, cfg.L2.LineBytes, cfg.LLC.LineBytes)
+	}
+	return nil
+}
+
+// NewHierarchy builds the stack. All levels must share one line size.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	h := &Hierarchy{cfg: cfg}
 	for i := 0; i < cfg.CPUs; i++ {
@@ -100,13 +112,16 @@ func (h *Hierarchy) LineBytes() uint32 { return h.cfg.LLC.LineBytes }
 //
 // The returned miss slice is reused by the next Access call; callers that
 // need it longer must copy it.
-func (h *Hierarchy) Access(a trace.Access) (latency uint64, misses []Miss) {
+//
+// An access naming a CPU outside the configured range is a malformed
+// trace, reported as an error rather than a panic: traces are user input.
+func (h *Hierarchy) Access(a trace.Access) (latency uint64, misses []Miss, err error) {
 	if a.Kind == trace.FenceOp {
-		return 0, nil
+		return 0, nil, nil
 	}
 	misses = h.missBuf[:0]
 	if int(a.CPU) >= h.cfg.CPUs {
-		panic(fmt.Sprintf("cache: access from CPU %d of %d", a.CPU, h.cfg.CPUs))
+		return 0, nil, fmt.Errorf("cache: access from CPU %d, hierarchy has %d", a.CPU, h.cfg.CPUs)
 	}
 	lineBytes := uint64(h.LineBytes())
 	first := a.Addr / lineBytes
@@ -152,7 +167,7 @@ func (h *Hierarchy) Access(a trace.Access) (latency uint64, misses []Miss) {
 		}
 	}
 	h.missBuf = misses
-	return latency, misses
+	return latency, misses, nil
 }
 
 // LLCStats returns the shared LLC counters.

@@ -32,11 +32,16 @@ func TestNewHierarchyValidation(t *testing.T) {
 	if _, err := NewHierarchy(cfg); err == nil {
 		t.Error("mismatched line sizes accepted")
 	}
+	cfg = DefaultHierarchyConfig()
+	cfg.CPUs = 257
+	if err := cfg.Validate(); err == nil {
+		t.Error("257 CPUs accepted past the uint8 trace format")
+	}
 }
 
 func TestColdAccessMissesToMemory(t *testing.T) {
 	h := tinyHierarchy(t)
-	lat, misses := h.Access(trace.Access{Addr: 0x1000, Size: 8, Kind: trace.Load, CPU: 0})
+	lat, misses, _ := h.Access(trace.Access{Addr: 0x1000, Size: 8, Kind: trace.Load, CPU: 0})
 	if len(misses) != 1 {
 		t.Fatalf("misses = %d, want 1", len(misses))
 	}
@@ -54,7 +59,7 @@ func TestHitsAfterFill(t *testing.T) {
 	h := tinyHierarchy(t)
 	a := trace.Access{Addr: 0x2000, Size: 8, Kind: trace.Load, CPU: 1}
 	h.Access(a)
-	lat, misses := h.Access(a)
+	lat, misses, _ := h.Access(a)
 	if len(misses) != 0 {
 		t.Fatalf("second access missed: %v", misses)
 	}
@@ -71,7 +76,7 @@ func TestSharedLLCAcrossCores(t *testing.T) {
 	// no memory traffic.
 	b := a
 	b.CPU = 1
-	lat, misses := h.Access(b)
+	lat, misses, _ := h.Access(b)
 	if len(misses) != 0 {
 		t.Fatalf("cross-core access went to memory: %v", misses)
 	}
@@ -83,7 +88,7 @@ func TestSharedLLCAcrossCores(t *testing.T) {
 func TestLineSplitAccess(t *testing.T) {
 	h := tinyHierarchy(t)
 	// 16 B access starting 8 B before a line boundary touches two lines.
-	lat, misses := h.Access(trace.Access{Addr: 64*10 - 8, Size: 16, Kind: trace.Load, CPU: 0})
+	lat, misses, _ := h.Access(trace.Access{Addr: 64*10 - 8, Size: 16, Kind: trace.Load, CPU: 0})
 	if len(misses) != 2 {
 		t.Fatalf("misses = %d, want 2", len(misses))
 	}
@@ -100,7 +105,7 @@ func TestLineSplitAccess(t *testing.T) {
 
 func TestStoreMissIsStoreRequest(t *testing.T) {
 	h := tinyHierarchy(t)
-	_, misses := h.Access(trace.Access{Addr: 0x4000, Size: 4, Kind: trace.Store, CPU: 0})
+	_, misses, _ := h.Access(trace.Access{Addr: 0x4000, Size: 4, Kind: trace.Store, CPU: 0})
 	if len(misses) != 1 || !misses[0].Write || misses[0].WriteBack {
 		t.Fatalf("store miss = %+v", misses)
 	}
@@ -114,7 +119,7 @@ func TestDirtyLLCEvictionEmitsWriteBack(t *testing.T) {
 	h.Access(trace.Access{Addr: 0, Size: 8, Kind: trace.Store, CPU: 0})
 	var sawWB bool
 	for i := uint64(1); i <= llcLines*2; i++ {
-		_, misses := h.Access(trace.Access{Addr: i * 64, Size: 8, Kind: trace.Load, CPU: 0})
+		_, misses, _ := h.Access(trace.Access{Addr: i * 64, Size: 8, Kind: trace.Load, CPU: 0})
 		for _, m := range misses {
 			if m.WriteBack {
 				if !m.Write {
@@ -136,7 +141,7 @@ func TestDirtyLLCEvictionEmitsWriteBack(t *testing.T) {
 
 func TestFenceIsTransparentToCaches(t *testing.T) {
 	h := tinyHierarchy(t)
-	lat, misses := h.Access(trace.Access{Kind: trace.FenceOp, CPU: 0})
+	lat, misses, _ := h.Access(trace.Access{Kind: trace.FenceOp, CPU: 0})
 	if lat != 0 || misses != nil {
 		t.Errorf("fence produced latency %d misses %v", lat, misses)
 	}
@@ -159,14 +164,12 @@ func TestStatsAggregation(t *testing.T) {
 	}
 }
 
-func TestAccessPanicsOnBadCPU(t *testing.T) {
+func TestAccessRejectsBadCPU(t *testing.T) {
 	h := tinyHierarchy(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for out-of-range CPU")
-		}
-	}()
-	h.Access(trace.Access{Addr: 0, Size: 4, Kind: trace.Load, CPU: 9})
+	_, _, err := h.Access(trace.Access{Addr: 0, Size: 4, Kind: trace.Load, CPU: 9})
+	if err == nil {
+		t.Fatal("no error for out-of-range CPU")
+	}
 }
 
 func TestDefaultHierarchyConfigBuilds(t *testing.T) {

@@ -11,8 +11,8 @@ import (
 func benchCoalescer(b *testing.B) *Coalescer {
 	b.Helper()
 	c, err := New(DefaultConfig(),
-		func(tick uint64, e *mshr.Entry) uint64 { return tick + 200 },
-		func(tick uint64, subs []mshr.Sub) {})
+		func(tick uint64, e *mshr.Entry) IssueResult { return IssueResult{Done: tick + 200} },
+		func(tick uint64, subs []mshr.Sub, fault bool) {})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -49,8 +49,8 @@ func BenchmarkPushAdvance(b *testing.B) {
 func BenchmarkBaselinePush(b *testing.B) {
 	cfg := BaselineConfig()
 	c, err := New(cfg,
-		func(tick uint64, e *mshr.Entry) uint64 { return tick + 200 },
-		func(tick uint64, subs []mshr.Sub) {})
+		func(tick uint64, e *mshr.Entry) IssueResult { return IssueResult{Done: tick + 200} },
+		func(tick uint64, subs []mshr.Sub, fault bool) {})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -64,6 +64,25 @@ type Config struct {
 	// per-sequence coalescing cost (sorting + DMC), clamped to
 	// [TimeoutCycles/2, 4×TimeoutCycles]. TimeoutCycles seeds the average.
 	AdaptiveTimeout bool
+
+	// RetryBackoffCycles is the base delay before a failed (poisoned)
+	// packet's span is re-issued; the backoff doubles per attempt up to
+	// RetryBackoffCap. Zero means the defaults (64 and 4096 cycles).
+	RetryBackoffCycles uint64
+	RetryBackoffCap    uint64
+	// MaxPacketRetries bounds re-issues per failed span; a span that still
+	// fails past the cap completes with its error bit set so waiters are
+	// never stranded. Zero means the default (8).
+	MaxPacketRetries int
+	// DegradeWindow and DegradeThreshold govern degraded mode: over a
+	// sliding window of the last DegradeWindow issued packets, an observed
+	// link error rate at or above DegradeThreshold caps packet size at one
+	// cache line (64 B) — a retransmitted 256 B packet costs 17 FLITs, so
+	// degradation trades coalescing efficiency for retry cost. The mode
+	// exits when the windowed rate falls to half the threshold. Zero means
+	// the defaults (64 packets, 0.25).
+	DegradeWindow    int
+	DegradeThreshold float64
 }
 
 // DefaultConfig returns the paper's evaluation configuration with both
@@ -102,13 +121,33 @@ type Request struct {
 	Token   uint64 // opaque completion token returned to the caller
 }
 
+// NeverTick marks a response that will never arrive; it mirrors
+// hmc.NeverTick so issue callbacks can pass the device's verdict through.
+const NeverTick = ^uint64(0)
+
+// IssueResult is the outcome of one dispatched memory request.
+type IssueResult struct {
+	// Done is the tick the response completes, or NeverTick if Dropped.
+	Done uint64
+	// Fault reports a poisoned response: a response arrives at Done but
+	// carries no data, and the span must be retried or failed.
+	Fault bool
+	// Dropped reports the response will never arrive at all.
+	Dropped bool
+	// Retries is the number of link retransmission rounds the transaction
+	// needed; it feeds the degraded-mode error-rate window.
+	Retries int
+}
+
 // IssueFunc dispatches one memory request (an allocated MSHR entry) to the
-// HMC at the given tick and returns the tick its response completes.
-type IssueFunc func(tick uint64, e *mshr.Entry) uint64
+// HMC at the given tick and reports how the transaction ended.
+type IssueFunc func(tick uint64, e *mshr.Entry) IssueResult
 
 // CompleteFunc delivers a response: the entry's waiters identified by
-// their tokens, at the completion tick.
-type CompleteFunc func(tick uint64, subs []mshr.Sub)
+// their tokens, at the completion tick. fault reports that the data never
+// arrived — the span exhausted its retry budget and the waiters observe a
+// memory error instead of a fill.
+type CompleteFunc func(tick uint64, subs []mshr.Sub, fault bool)
 
 // Coalescer is the two-phase memory coalescer.
 type Coalescer struct {
@@ -151,6 +190,19 @@ type Coalescer struct {
 	fillCount   int    // packets supplied in the current episode
 	stats       Stats
 	linesBlock  uint64 // lines per HMC block
+
+	// Fault-recovery state. retryQ is a min-heap of failed spans awaiting
+	// re-issue after backoff, ordered by (ready, seq) so retries release
+	// deterministically. faultWin is the degraded-mode sliding window over
+	// issue outcomes; it is allocated lazily on the first observed link
+	// error so the no-fault path stays allocation-identical.
+	retryQ     []packet
+	retrySeq   uint64
+	faultWin   []bool
+	faultPos   int
+	faultCnt   int
+	degraded   bool
+	degradedAt uint64 // tick degraded mode was last entered
 }
 
 // pendingReq is an input-buffer slot: the request plus its arrival tick,
@@ -167,6 +219,36 @@ type packet struct {
 	targets  []mshr.Target
 	ready    uint64 // tick the packet entered the CRQ
 	blocked  bool   // a previous insert attempt found the file packed
+	attempt  int    // how many times this span has already failed
+	seq      uint64 // retry-queue tie-break, in failure order
+}
+
+// Validate checks the configuration without building anything. New calls
+// it; embedding configs can call it early so a bad sorter width or MSHR
+// geometry surfaces as an error at construction, never a panic later.
+func (cfg Config) Validate() error {
+	if cfg.LineBytes == 0 || cfg.BlockBytes < cfg.LineBytes {
+		return fmt.Errorf("coalescer: bad line/block sizes %d/%d", cfg.LineBytes, cfg.BlockBytes)
+	}
+	if cfg.Width < 2 || cfg.Width&(cfg.Width-1) != 0 {
+		return fmt.Errorf("coalescer: sorter width %d is not a power of two ≥ 2", cfg.Width)
+	}
+	if cfg.MaxPacketRetries < 0 {
+		return fmt.Errorf("coalescer: negative retry cap %d", cfg.MaxPacketRetries)
+	}
+	if cfg.DegradeWindow < 0 {
+		return fmt.Errorf("coalescer: negative degrade window %d", cfg.DegradeWindow)
+	}
+	if cfg.DegradeThreshold < 0 || cfg.DegradeThreshold > 1 {
+		return fmt.Errorf("coalescer: degrade threshold %v outside [0,1]", cfg.DegradeThreshold)
+	}
+	mcfg := cfg.MSHR
+	mcfg.LineBytes = cfg.LineBytes
+	mcfg.BlockBytes = cfg.BlockBytes
+	if err := mcfg.Validate(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // New builds a coalescer. issue and complete must be non-nil.
@@ -174,8 +256,8 @@ func New(cfg Config, issue IssueFunc, complete CompleteFunc) (*Coalescer, error)
 	if issue == nil || complete == nil {
 		return nil, fmt.Errorf("coalescer: nil callback")
 	}
-	if cfg.LineBytes == 0 || cfg.BlockBytes < cfg.LineBytes {
-		return nil, fmt.Errorf("coalescer: bad line/block sizes %d/%d", cfg.LineBytes, cfg.BlockBytes)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	net, err := sortnet.New(cfg.Width)
 	if err != nil {
@@ -331,7 +413,7 @@ func (c *Coalescer) Push(now uint64, r Request) {
 	if c.file.Full() {
 		c.bypassOn = false
 		c.idleSince = ^uint64(0)
-	} else if c.crqLen == 0 && len(c.pending) == 0 && len(c.inflight) == 0 {
+	} else if c.crqLen == 0 && len(c.pending) == 0 && len(c.inflight) == 0 && len(c.retryQ) == 0 {
 		if c.idleSince == ^uint64(0) {
 			c.idleSince = now
 		}
@@ -345,7 +427,7 @@ func (c *Coalescer) Push(now uint64, r Request) {
 	} else {
 		c.idleSince = ^uint64(0)
 	}
-	if c.cfg.Bypass && c.bypassOn && len(c.pending) == 0 && c.crqLen == 0 && !c.file.Full() {
+	if c.cfg.Bypass && c.bypassOn && len(c.pending) == 0 && c.crqLen == 0 && len(c.retryQ) == 0 && !c.file.Full() {
 		// Idle coalescer, free MSHRs — skip the sorter entirely.
 		c.stats.Bypassed++
 		c.enqueuePacket(now, packet{
@@ -382,12 +464,14 @@ func (c *Coalescer) Fence(now uint64) {
 	}
 }
 
-// Advance processes time up to now: expires the input-buffer timeout and
-// delivers any memory responses due at or before now.
+// Advance processes time up to now: expires the input-buffer timeout,
+// releases backed-off retries that fell due, and delivers any memory
+// responses due at or before now.
 func (c *Coalescer) Advance(now uint64) {
 	if now > c.lastAdvance {
 		c.lastAdvance = now
 	}
+	c.releaseRetries(now)
 	for len(c.inflight) > 0 && c.inflight[0].tick <= now {
 		c.completeOne()
 	}
@@ -399,6 +483,16 @@ func (c *Coalescer) Advance(now uint64) {
 		}
 	}
 	c.drainCRQ(now)
+}
+
+// releaseRetries moves failed spans whose backoff has expired back into
+// the CRQ as fresh non-coalesced packets.
+func (c *Coalescer) releaseRetries(now uint64) {
+	for len(c.retryQ) > 0 && c.retryQ[0].ready <= now {
+		var p packet
+		c.retryQ, p = retryPop(c.retryQ)
+		c.enqueuePacket(p.ready, p)
+	}
 }
 
 // NextEvent returns the earliest tick at which Advance will make further
@@ -415,6 +509,9 @@ func (c *Coalescer) NextEvent() (uint64, bool) {
 	if len(c.inflight) > 0 && c.inflight[0].tick < next {
 		next = c.inflight[0].tick
 	}
+	if len(c.retryQ) > 0 && c.retryQ[0].ready < next {
+		next = c.retryQ[0].ready
+	}
 	if c.crqLen > 0 {
 		if ready := c.crqFront().ready; ready > c.lastAdvance && ready < next {
 			next = ready
@@ -426,16 +523,24 @@ func (c *Coalescer) NextEvent() (uint64, bool) {
 // Drain flushes all pending state and runs the clock forward until every
 // outstanding request has completed. It returns the tick at which the
 // memory system went idle.
-func (c *Coalescer) Drain(now uint64) uint64 {
+//
+// If the only outstanding responses are ones that will never arrive
+// (dropped on a faulty link), Drain returns a watchdog error naming the
+// oldest of them instead of looping forever — the caller decides how to
+// report it.
+func (c *Coalescer) Drain(now uint64) (uint64, error) {
 	c.Advance(now)
 	if len(c.pending) > 0 {
 		c.flush(now, flushDrain)
 	}
 	idle := now
-	for len(c.inflight) > 0 || c.crqLen > 0 {
+	for len(c.inflight) > 0 || c.crqLen > 0 || len(c.retryQ) > 0 {
 		next := ^uint64(0)
-		if len(c.inflight) > 0 {
+		if len(c.inflight) > 0 && c.inflight[0].tick != NeverTick {
 			next = c.inflight[0].tick
+		}
+		if len(c.retryQ) > 0 && c.retryQ[0].ready < next {
+			next = c.retryQ[0].ready
 		}
 		if c.crqLen > 0 {
 			if ready := c.crqFront().ready; ready > idle && ready < next {
@@ -443,6 +548,11 @@ func (c *Coalescer) Drain(now uint64) uint64 {
 			}
 		}
 		if next == ^uint64(0) {
+			if w, ok := c.Watchdog(); ok {
+				// Everything still in flight is a dropped response: no
+				// event will ever fire again. Report instead of hanging.
+				return idle, c.watchdogError(w)
+			}
 			// The CRQ head is ready but blocked with nothing in flight.
 			// A blocked head implies a full MSHR file, and every allocated
 			// entry is in flight — so this state indicates a bug.
@@ -451,19 +561,183 @@ func (c *Coalescer) Drain(now uint64) uint64 {
 		if next > idle {
 			idle = next
 		}
+		c.releaseRetries(idle)
 		if len(c.inflight) > 0 && c.inflight[0].tick <= idle {
 			c.completeOne()
 		}
 		c.drainCRQ(idle)
 	}
-	return idle
+	if c.degraded {
+		// Close the open degraded interval so the stats cover the run.
+		c.stats.DegradedCycles += idle - c.degradedAt
+		c.degradedAt = idle
+	}
+	return idle, nil
 }
 
 func (c *Coalescer) completeOne() {
 	var item completion
 	c.inflight, item = completionPop(c.inflight)
-	subs := c.file.Complete(item.entry)
+	e := item.entry
+	// Capture the span before Complete invalidates the entry: a poisoned
+	// response may need to re-issue exactly these lines.
+	baseLine, lines, write := e.BaseLine(), e.Lines(), e.Write()
+	subs := c.file.Complete(e)
 	c.freedAt = item.tick
-	c.complete(item.tick, subs)
+	if item.fault && item.attempt < c.maxPacketRetries() {
+		c.requeueFailed(item.tick, item.attempt, baseLine, lines, write, subs)
+	} else {
+		if item.fault {
+			c.stats.FailedTargets += uint64(len(subs))
+		}
+		c.complete(item.tick, subs, item.fault)
+	}
 	c.drainCRQ(item.tick)
+}
+
+func (c *Coalescer) maxPacketRetries() int {
+	if c.cfg.MaxPacketRetries == 0 {
+		return 8
+	}
+	return c.cfg.MaxPacketRetries
+}
+
+// requeueFailed schedules a failed span for re-issue as a fresh packet —
+// deliberately not re-coalesced: it goes straight back to the CRQ — after
+// a capped exponential backoff.
+func (c *Coalescer) requeueFailed(now uint64, attempt int, baseLine uint64, lines int, write bool, subs []mshr.Sub) {
+	base := c.cfg.RetryBackoffCycles
+	if base == 0 {
+		base = 64
+	}
+	cap := c.cfg.RetryBackoffCap
+	if cap == 0 {
+		cap = 4096
+	}
+	backoff := base << uint(attempt)
+	if backoff > cap || backoff < base { // < base catches shift overflow
+		backoff = cap
+	}
+	c.stats.RetriedPackets++
+	c.stats.RetryBackoffCycles += backoff
+	// subs alias the entry's reusable backing; rebuild durable targets now.
+	targets := c.getTargets()
+	for _, s := range subs {
+		targets = append(targets, mshr.Target{Line: baseLine + uint64(s.LineID), Token: s.Token, Payload: s.Payload})
+	}
+	p := packet{
+		baseLine: baseLine, lines: lines, write: write, targets: targets,
+		ready: now + backoff, attempt: attempt + 1, seq: c.retrySeq,
+	}
+	c.retrySeq++
+	c.retryQ = retryPush(c.retryQ, p)
+}
+
+// noteIssue feeds one issue outcome into the degraded-mode sliding window.
+// The window is allocated on the first observed error, so a clean run
+// never pays for it.
+func (c *Coalescer) noteIssue(now uint64, res IssueResult) {
+	errored := res.Fault || res.Dropped || res.Retries > 0
+	if c.faultWin == nil {
+		if !errored {
+			return
+		}
+		w := c.cfg.DegradeWindow
+		if w == 0 {
+			w = 64
+		}
+		c.faultWin = make([]bool, w)
+	}
+	if c.faultWin[c.faultPos] {
+		c.faultCnt--
+	}
+	c.faultWin[c.faultPos] = errored
+	if errored {
+		c.faultCnt++
+	}
+	c.faultPos++
+	if c.faultPos == len(c.faultWin) {
+		c.faultPos = 0
+	}
+	thr := c.cfg.DegradeThreshold
+	if thr == 0 {
+		thr = 0.25
+	}
+	enter := int(thr*float64(len(c.faultWin)) + 0.5)
+	if enter < 1 {
+		enter = 1
+	}
+	switch {
+	case !c.degraded && c.faultCnt >= enter:
+		c.degraded = true
+		c.degradedAt = now
+		c.stats.DegradedEntries++
+	case c.degraded && c.faultCnt <= enter/2:
+		c.degraded = false
+		c.stats.DegradedCycles += now - c.degradedAt
+	}
+}
+
+// Degraded reports whether the DMC is currently capping packets at one
+// cache line because of the observed link error rate.
+func (c *Coalescer) Degraded() bool { return c.degraded }
+
+// WatchdogInfo describes the oldest memory response that will never
+// arrive, for the simulator's watchdog diagnostic.
+type WatchdogInfo struct {
+	// Dropped is how many in-flight responses will never arrive.
+	Dropped int
+	// Line is the base cache line of the oldest dropped entry; Lines and
+	// Write complete its span, Waiters its subentry count.
+	Line    uint64
+	Lines   int
+	Write   bool
+	Waiters int
+	// Entry is the owning MSHR entry's slot in the file.
+	Entry int
+	// IssuedAt is the tick the doomed request was dispatched.
+	IssuedAt uint64
+}
+
+// Watchdog scans the in-flight set for responses that will never arrive
+// and, if any exist, describes the oldest (by issue tick, then MSHR slot —
+// a total order independent of heap layout).
+func (c *Coalescer) Watchdog() (WatchdogInfo, bool) {
+	var w WatchdogInfo
+	for i := range c.inflight {
+		it := &c.inflight[i]
+		if it.tick != NeverTick {
+			continue
+		}
+		w.Dropped++
+		e := it.entry
+		if w.Dropped == 1 || it.issuedAt < w.IssuedAt ||
+			(it.issuedAt == w.IssuedAt && e.Index() < w.Entry) {
+			w.Line = e.BaseLine()
+			w.Lines = e.Lines()
+			w.Write = e.Write()
+			w.Waiters = len(e.Subs())
+			w.Entry = e.Index()
+			w.IssuedAt = it.issuedAt
+		}
+	}
+	return w, w.Dropped > 0
+}
+
+// WatchdogError renders the watchdog diagnostic as an error, or nil when
+// every in-flight response is still expected.
+func (c *Coalescer) WatchdogError() error {
+	w, ok := c.Watchdog()
+	if !ok {
+		return nil
+	}
+	return c.watchdogError(w)
+}
+
+// watchdogError renders a deterministic diagnostic for a drained-out run
+// whose remaining responses will never arrive.
+func (c *Coalescer) watchdogError(w WatchdogInfo) error {
+	return fmt.Errorf("coalescer: watchdog: %d response(s) never arrived; oldest: line %d "+
+		"(MSHR entry %d, %d lines, write=%v, %d waiters, issued at %d); %s",
+		w.Dropped, w.Line, w.Entry, w.Lines, w.Write, w.Waiters, w.IssuedAt, c.DebugState())
 }

@@ -28,11 +28,11 @@ func newHarness(t *testing.T, cfg Config) *harness {
 	t.Helper()
 	h := &harness{memLatency: 400, completed: map[uint64]uint64{}}
 	c, err := New(cfg,
-		func(tick uint64, e *mshr.Entry) uint64 {
+		func(tick uint64, e *mshr.Entry) IssueResult {
 			h.issues = append(h.issues, issueRecord{tick, e.BaseLine(), e.Lines(), e.Write()})
-			return tick + h.memLatency
+			return IssueResult{Done: tick + h.memLatency}
 		},
-		func(tick uint64, subs []mshr.Sub) {
+		func(tick uint64, subs []mshr.Sub, fault bool) {
 			for _, s := range subs {
 				if _, dup := h.completed[s.Token]; dup {
 					t.Fatalf("token %d completed twice", s.Token)
@@ -54,8 +54,8 @@ func noBypass() Config {
 }
 
 func TestNewValidation(t *testing.T) {
-	cb := func(uint64, *mshr.Entry) uint64 { return 0 }
-	cc := func(uint64, []mshr.Sub) {}
+	cb := func(uint64, *mshr.Entry) IssueResult { return IssueResult{} }
+	cc := func(uint64, []mshr.Sub, bool) {}
 	if _, err := New(DefaultConfig(), nil, cc); err == nil {
 		t.Error("nil issue accepted")
 	}
@@ -359,7 +359,10 @@ func TestDrainCompletesEverything(t *testing.T) {
 		})
 		tokens++
 	}
-	idle := h.c.Drain(tick)
+	idle, err := h.c.Drain(tick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if idle < tick {
 		t.Errorf("idle %d before last push %d", idle, tick)
 	}

@@ -169,12 +169,43 @@ func splitPacket(base uint64, length int, out *[maxChunks]chunk) int {
 	return n
 }
 
-// enqueuePacket appends a packet to the CRQ and maintains the fill-episode
+// enqueuePacket routes a packet into the CRQ. In degraded mode the DMC
+// caps packet size at one cache line: a multi-line packet is split into
+// single-line packets before queuing, trading the coalescing win for a
+// smaller retransmission unit on the errored link.
+func (c *Coalescer) enqueuePacket(now uint64, p packet) {
+	if !c.degraded || p.lines <= 1 {
+		c.enqueueOne(now, p)
+		return
+	}
+	c.stats.DegradedSplits++
+	for ln := p.baseLine; ln < p.baseLine+uint64(p.lines); ln++ {
+		var targets []mshr.Target
+		for _, t := range p.targets {
+			if t.Line == ln {
+				if targets == nil {
+					targets = c.getTargets()
+				}
+				targets = append(targets, t)
+			}
+		}
+		if targets == nil {
+			continue // no waiter on this line: nothing to fetch
+		}
+		c.enqueueOne(now, packet{
+			baseLine: ln, lines: 1, write: p.write, targets: targets,
+			ready: p.ready, attempt: p.attempt,
+		})
+	}
+	c.putTargets(p.targets)
+}
+
+// enqueueOne appends a packet to the CRQ and maintains the fill-episode
 // accounting behind Figure 13: an episode measures how long the coalescer
 // takes to supply one CRQ's worth of packets (capacity = number of MSHRs).
 // Better coalescing means fewer packets per batch and therefore a longer
 // fill time — the FT effect discussed in §5.3.3.
-func (c *Coalescer) enqueuePacket(now uint64, p packet) {
+func (c *Coalescer) enqueueOne(now uint64, p packet) {
 	if c.fillCount == 0 {
 		c.fillStart = now
 	}
@@ -232,8 +263,18 @@ func (c *Coalescer) drainCRQ(now uint64) {
 		}
 		for _, e := range out.Issued {
 			c.stats.HMCRequests++
-			done := c.issue(t, e)
-			c.inflight = completionPush(c.inflight, completion{tick: done, entry: e})
+			res := c.issue(t, e)
+			c.noteIssue(t, res)
+			c.stats.LinkRetryRounds += uint64(res.Retries)
+			if res.Dropped {
+				c.stats.DroppedPackets++
+				res.Done = NeverTick // normalize whatever the callback set
+			} else if res.Fault {
+				c.stats.PoisonedPackets++
+			}
+			c.inflight = completionPush(c.inflight, completion{
+				tick: res.Done, entry: e, issuedAt: t, fault: res.Fault, attempt: p.attempt,
+			})
 		}
 		c.lastIssue = t
 		if len(out.Unplaced) > 0 {
@@ -250,9 +291,14 @@ func (c *Coalescer) drainCRQ(now uint64) {
 }
 
 // completion pairs an outstanding MSHR entry with its response tick.
+// tick is NeverTick for a dropped response — such completions sink to the
+// bottom of the heap and only the watchdog ever looks at them.
 type completion struct {
-	tick  uint64
-	entry *mshr.Entry
+	tick     uint64
+	entry    *mshr.Entry
+	issuedAt uint64 // dispatch tick, for watchdog age ordering
+	fault    bool   // response arrived poisoned
+	attempt  int    // span-level retry attempts already spent
 }
 
 // The in-flight min-heap is hand-inlined: container/heap's interface
@@ -273,6 +319,55 @@ func completionPush(h []completion, x completion) []completion {
 		i = p
 	}
 	return h
+}
+
+// The retry queue is a min-heap of failed spans ordered by (ready, seq):
+// release time first, failure order as the tie-break, so backed-off
+// retries re-enter the CRQ in a deterministic total order.
+
+func retryLess(a, b *packet) bool {
+	if a.ready != b.ready {
+		return a.ready < b.ready
+	}
+	return a.seq < b.seq
+}
+
+// retryPush inserts x and returns the updated heap slice.
+func retryPush(h []packet, x packet) []packet {
+	h = append(h, x)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !retryLess(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+// retryPop removes the minimum packet, returning the shrunk slice and the
+// removed item.
+func retryPop(h []packet) ([]packet, packet) {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	item := h[n]
+	h = h[:n]
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && retryLess(&h[r], &h[j]) {
+			j = r
+		}
+		if !retryLess(&h[j], &h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return h, item
 }
 
 // completionPop removes the minimum completion, returning the shrunk slice

@@ -52,6 +52,30 @@ type Stats struct {
 
 	// HMCRequests is the number of memory requests actually dispatched.
 	HMCRequests uint64
+
+	// Fault-recovery counters. All stay zero on a clean link.
+
+	// PoisonedPackets counts responses that arrived poisoned (link retry
+	// budget exhausted below); DroppedPackets counts responses that never
+	// arrived at all.
+	PoisonedPackets uint64
+	DroppedPackets  uint64
+	// LinkRetryRounds sums the link-level retransmission rounds reported
+	// by the issue callback across all dispatched packets.
+	LinkRetryRounds uint64
+	// RetriedPackets counts failed spans re-issued as fresh packets, and
+	// RetryBackoffCycles sums the backoff delays they waited.
+	RetriedPackets     uint64
+	RetryBackoffCycles uint64
+	// FailedTargets counts waiters completed with the error bit set after
+	// the span-level retry budget ran out.
+	FailedTargets uint64
+	// DegradedEntries counts transitions into degraded mode;
+	// DegradedCycles is the total time spent there, and DegradedSplits the
+	// number of multi-line packets split down to 64 B because of it.
+	DegradedEntries uint64
+	DegradedCycles  uint64
+	DegradedSplits  uint64
 }
 
 // Stats returns a snapshot of the counters.

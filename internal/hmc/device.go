@@ -3,7 +3,16 @@ package hmc
 import (
 	"fmt"
 	"sort"
+	"strings"
+
+	"hmccoal/internal/fault"
 )
+
+// NeverTick marks a completion that will never happen: the response was
+// dropped on the link and no amount of waiting delivers it. It sorts after
+// every real tick, so event loops keyed on "earliest completion" naturally
+// ignore it.
+const NeverTick = ^uint64(0)
 
 // Config describes the simulated device geometry and timing. All timing
 // parameters are in core clock cycles (3.3 GHz in the paper's setup).
@@ -32,6 +41,15 @@ type Config struct {
 	// TSerDes is the fixed one-way link latency (serialization/deserialization).
 	TSerDes uint64
 
+	// TRetry is the retry-pointer round-trip penalty per link
+	// retransmission: the receiver signals StartRetry, the transmitter
+	// rolls back to its retry pointer, and only then do the FLITs
+	// reserialize (which is charged separately).
+	TRetry uint64
+	// TRetrain is the link retraining penalty paid after
+	// Fault.RetrainAfter consecutive errored transmissions on one link.
+	TRetrain uint64
+
 	// OpenPage keeps DRAM rows open between accesses instead of the HMC's
 	// closed-page policy (§2.2.1). With it, back-to-back requests to the
 	// same row skip the activate; a row conflict pays precharge + activate.
@@ -43,6 +61,12 @@ type Config struct {
 	// arriving with no token waits for one to return. 0 disables the limit
 	// (the paper's evaluation never saturates it).
 	LinkTokens int
+
+	// Fault configures deterministic link-fault injection (CRC errors and
+	// their retransmissions, retry exhaustion poisoning, dropped
+	// responses). The zero value is the perfect interconnect the paper
+	// evaluates on, and costs nothing on the hot path.
+	Fault fault.Config
 }
 
 // DefaultConfig returns the 8 GB HMC 2.1-like configuration used by the
@@ -55,16 +79,20 @@ func DefaultConfig() Config {
 		BlockBytes:    256,
 		RowBytes:      2048,
 		Links:         4,
-		TActivate:     45, // ≈13.6 ns
-		TColumn:       45, // ≈13.6 ns
-		TPrecharge:    45, // ≈13.6 ns
-		TBurstPerFlit: 5,  // ≈1.5 ns per 16 B over the TSVs
-		TFlit:         1,  // ≈0.3 ns per 16 B per link (≈53 GB/s/link)
-		TSerDes:       12, // ≈3.6 ns each way
+		TActivate:     45,  // ≈13.6 ns
+		TColumn:       45,  // ≈13.6 ns
+		TPrecharge:    45,  // ≈13.6 ns
+		TBurstPerFlit: 5,   // ≈1.5 ns per 16 B over the TSVs
+		TFlit:         1,   // ≈0.3 ns per 16 B per link (≈53 GB/s/link)
+		TSerDes:       12,  // ≈3.6 ns each way
+		TRetry:        24,  // ≈7.3 ns retry-pointer round trip
+		TRetrain:      660, // ≈200 ns link retraining
 	}
 }
 
-func (c Config) validate() error {
+// Validate checks the configuration. NewDevice calls it; embedding configs
+// can call it early to surface errors before any construction.
+func (c Config) Validate() error {
 	switch {
 	case c.CapacityBytes == 0:
 		return fmt.Errorf("hmc: zero capacity")
@@ -74,6 +102,9 @@ func (c Config) validate() error {
 		return fmt.Errorf("hmc: block size %d not a power of two", c.BlockBytes)
 	case c.RowBytes < c.BlockBytes:
 		return fmt.Errorf("hmc: row size %d below block size %d", c.RowBytes, c.BlockBytes)
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return fmt.Errorf("hmc: %w", err)
 	}
 	return nil
 }
@@ -92,6 +123,23 @@ type Request struct {
 	Write bool
 }
 
+// Completion describes the outcome of one submitted packet.
+type Completion struct {
+	// Done is the tick at which the response has been fully received by
+	// the host, or NeverTick if the response was dropped.
+	Done uint64
+	// Poisoned reports that a leg of the transaction exhausted its link
+	// retry budget: a response arrives at Done, but it carries an error
+	// status instead of data. The requester must re-issue.
+	Poisoned bool
+	// Dropped reports that no response will ever arrive (Done is
+	// NeverTick). A watchdog, not a wait, is the only way out.
+	Dropped bool
+	// Retries is the number of link retransmission rounds the transaction
+	// needed across both legs.
+	Retries int
+}
+
 // Device is the simulated HMC. It is not safe for concurrent use; the
 // simulator owns it from a single goroutine.
 type Device struct {
@@ -103,6 +151,16 @@ type Device struct {
 	// Stats materializes it into the exported map form on demand.
 	sizeHist []uint64
 	stats    Stats
+
+	// Fault state. serial numbers every submitted packet; together with
+	// the link index it keys the injector, making every fault decision a
+	// pure function of the packet's identity. consecErr and linkFaults are
+	// nil unless injection is enabled, keeping the no-fault construction
+	// path allocation-identical to a fault-free build.
+	inj        fault.Injector
+	serial     uint64
+	consecErr  []int
+	linkFaults []LinkFaultStats
 }
 
 type bankState struct {
@@ -114,14 +172,16 @@ type bankState struct {
 type duplex struct {
 	in, out uint64
 	// tokens holds, when flow control is enabled, the release time of each
-	// link token (the completion tick of the transaction holding it).
+	// link token (the completion tick of the transaction holding it). A
+	// token stamped NeverTick is leaked by a dropped response and never
+	// returns.
 	tokens []uint64
 }
 
 // NewDevice builds a Device from a fully specified cfg. Start from
 // DefaultConfig and adjust fields as needed.
 func NewDevice(cfg Config) (*Device, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	d := &Device{cfg: cfg}
@@ -134,6 +194,11 @@ func NewDevice(cfg Config) (*Device, error) {
 	}
 	d.sizeHist = make([]uint64, cfg.BlockBytes/FlitBytes+1)
 	d.stats.VaultRequests = make([]uint64, cfg.Vaults)
+	d.inj = fault.NewInjector(cfg.Fault)
+	if d.inj.Enabled() {
+		d.consecErr = make([]int, cfg.Links)
+		d.linkFaults = make([]LinkFaultStats, cfg.Links)
+	}
 	return d, nil
 }
 
@@ -158,33 +223,56 @@ func (d *Device) rowOf(addr uint64) uint64 {
 
 // Submit presents a request to the device at the given arrival tick and
 // returns the tick at which the response has been fully received by the
-// host. Requests must respect the packet interface: FLIT-aligned payload in
-// [16, BlockBytes] that does not cross a block boundary.
+// host. It is SubmitPacket restricted to the perfect-link result; with
+// fault injection enabled the returned tick may belong to a poisoned
+// response, or be NeverTick for a dropped one — callers that care must use
+// SubmitPacket.
+func (d *Device) Submit(tick uint64, req Request) (uint64, error) {
+	comp, err := d.SubmitPacket(tick, req)
+	return comp.Done, err
+}
+
+// SubmitPacket presents a request to the device at the given arrival tick
+// and returns a Completion describing when — and whether — the response
+// reaches the host. Requests must respect the packet interface:
+// FLIT-aligned payload in [16, BlockBytes] that does not cross a block
+// boundary.
 //
 // The model is busy-until based: each bank and each link direction is a
 // resource with a scalar horizon. Closed-page policy: every request pays
 // activate + column + burst and leaves the bank busy through precharge, so
 // k small requests to one block cost k row activations where one coalesced
 // request costs one — the effect motivating the paper.
-func (d *Device) Submit(tick uint64, req Request) (uint64, error) {
+//
+// With fault injection enabled, each leg of the transaction runs the HMC
+// link-retry protocol: an injected CRC error costs a retry-pointer round
+// trip plus reserialization of the packet's FLITs, consecutive errors
+// trigger link retraining, and a leg that exhausts its retry budget
+// poisons the response. A dropped response completes at NeverTick and, if
+// flow control is on, leaks its link token — exactly the failure a
+// watchdog above the device must catch.
+func (d *Device) SubmitPacket(tick uint64, req Request) (Completion, error) {
 	c := &d.cfg
 	if req.PacketBytes < MinRequestBytes || req.PacketBytes > c.BlockBytes {
-		return 0, fmt.Errorf("hmc: packet size %d outside [%d,%d]", req.PacketBytes, MinRequestBytes, c.BlockBytes)
+		return Completion{}, fmt.Errorf("hmc: packet size %d outside [%d,%d]", req.PacketBytes, MinRequestBytes, c.BlockBytes)
 	}
 	if req.PacketBytes%FlitBytes != 0 {
-		return 0, fmt.Errorf("hmc: packet size %d not FLIT aligned", req.PacketBytes)
+		return Completion{}, fmt.Errorf("hmc: packet size %d not FLIT aligned", req.PacketBytes)
 	}
 	if req.Addr/uint64(c.BlockBytes) != (req.Addr+uint64(req.PacketBytes)-1)/uint64(c.BlockBytes) {
-		return 0, fmt.Errorf("hmc: request %#x+%d crosses a %d B block boundary", req.Addr, req.PacketBytes, c.BlockBytes)
+		return Completion{}, fmt.Errorf("hmc: request %#x+%d crosses a %d B block boundary", req.Addr, req.PacketBytes, c.BlockBytes)
 	}
 	if req.RequestedBytes > req.PacketBytes {
-		return 0, fmt.Errorf("hmc: requested bytes %d exceed packet %d", req.RequestedBytes, req.PacketBytes)
+		return Completion{}, fmt.Errorf("hmc: requested bytes %d exceed packet %d", req.RequestedBytes, req.PacketBytes)
 	}
 	addr := req.Addr % c.CapacityBytes
+	serial := d.serial
+	d.serial++
 
 	// Link ingress: serialize the request packet on the next link. With
 	// flow control enabled, first wait for a link token.
-	link := &d.links[d.next]
+	li := d.next
+	link := &d.links[li]
 	d.next = (d.next + 1) % len(d.links)
 	tokenSlot := -1
 	arrive := tick
@@ -195,14 +283,60 @@ func (d *Device) Submit(tick uint64, req Request) (uint64, error) {
 				tokenSlot = i
 			}
 		}
+		if link.tokens[tokenSlot] == NeverTick {
+			// Every token on this link is held by a transaction whose
+			// response was dropped. The request can never start; fail it
+			// loudly instead of modelling an infinite wait.
+			d.stats.TokenStarved++
+			return Completion{Done: NeverTick, Dropped: true}, nil
+		}
 		if link.tokens[tokenSlot] > arrive {
 			d.stats.TokenWait += link.tokens[tokenSlot] - arrive
 			arrive = link.tokens[tokenSlot]
 		}
 	}
+	var comp Completion
 	reqFlits := uint64(RequestFlits(req.Write, req.PacketBytes))
 	inStart := max64(arrive, link.in)
-	link.in = inStart + reqFlits*c.TFlit
+	txEnd := inStart + reqFlits*c.TFlit
+	reqPoisoned := false
+	if d.inj.Enabled() {
+		var r int
+		txEnd, r, reqPoisoned = d.retryLeg(li, serial, fault.LegRequest, reqFlits, txEnd)
+		comp.Retries += r
+	}
+	link.in = txEnd
+
+	// Accounting shared by every outcome: the request was presented and
+	// its packet serialized at least once.
+	d.stats.Requests++
+	if req.Write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	d.sizeHist[req.PacketBytes/FlitBytes]++
+	d.stats.TransferredBytes += reqFlits * FlitBytes
+
+	if reqPoisoned {
+		// The request never entered the device intact: no vault sees it.
+		// The link controller sends back a one-FLIT poisoned response
+		// after the failed leg settles.
+		comp.Poisoned = true
+		d.poison(li)
+		outStart := max64(link.in+2*c.TSerDes, link.out)
+		link.out = outStart + c.TFlit
+		comp.Done = link.out + c.TSerDes
+		d.stats.TransferredBytes += FlitBytes
+		if tokenSlot >= 0 {
+			link.tokens[tokenSlot] = comp.Done
+		}
+		if comp.Done > d.stats.LastDone {
+			d.stats.LastDone = comp.Done
+		}
+		return comp, nil
+	}
+
 	atVault := link.in + c.TSerDes
 
 	// Bank service. Closed page (the HMC default): every request pays
@@ -238,32 +372,123 @@ func (d *Device) Submit(tick uint64, req Request) (uint64, error) {
 		dataReady = start + c.TActivate + c.TColumn + burst
 		bank.busyUntil = dataReady + c.TPrecharge
 	}
+	d.stats.VaultRequests[v]++
+
+	// A dropped response vanishes before the egress link ever sees it.
+	// The transaction's token is leaked: with flow control on, the link
+	// will eventually starve — deliberately observable, not papered over.
+	if d.inj.Enabled() && d.inj.Drop(li, serial) {
+		comp.Done = NeverTick
+		comp.Dropped = true
+		d.stats.DroppedResponses++
+		d.linkFaults[li].Dropped++
+		if tokenSlot >= 0 {
+			link.tokens[tokenSlot] = NeverTick
+		}
+		return comp, nil
+	}
 
 	// Link egress: serialize the response packet back to the host.
 	respFlits := uint64(ResponseFlits(req.Write, req.PacketBytes))
 	outStart := max64(dataReady, link.out)
-	link.out = outStart + respFlits*c.TFlit
-	done := link.out + c.TSerDes
+	txOut := outStart + respFlits*c.TFlit
+	respPoisoned := false
+	if d.inj.Enabled() {
+		var r int
+		txOut, r, respPoisoned = d.retryLeg(li, serial, fault.LegResponse, respFlits, txOut)
+		comp.Retries += r
+	}
+	link.out = txOut
+	comp.Done = link.out + c.TSerDes
 	if tokenSlot >= 0 {
-		link.tokens[tokenSlot] = done // token returns with the response
+		link.tokens[tokenSlot] = comp.Done // token returns with the response
 	}
 
-	// Accounting.
-	d.stats.VaultRequests[v]++
-	d.stats.Requests++
-	if req.Write {
-		d.stats.Writes++
+	d.stats.TransferredBytes += respFlits * FlitBytes
+	if respPoisoned {
+		// The response arrives, but as a poison marker: its data FLITs
+		// were exhausted on the link, so no useful bytes were delivered.
+		comp.Poisoned = true
+		d.poison(li)
 	} else {
-		d.stats.Reads++
+		d.stats.PacketBytes += uint64(req.PacketBytes)
+		d.stats.RequestedBytes += uint64(req.RequestedBytes)
 	}
-	d.sizeHist[req.PacketBytes/FlitBytes]++
-	d.stats.PacketBytes += uint64(req.PacketBytes)
-	d.stats.RequestedBytes += uint64(req.RequestedBytes)
-	d.stats.TransferredBytes += (reqFlits + respFlits) * FlitBytes
-	if done > d.stats.LastDone {
-		d.stats.LastDone = done
+	if comp.Done > d.stats.LastDone {
+		d.stats.LastDone = comp.Done
 	}
-	return done, nil
+	return comp, nil
+}
+
+// retryLeg runs the HMC link-retry protocol for one packet transmission
+// whose first serialization ends at txEnd. Each corrupted attempt pays the
+// retry-pointer penalty plus reserialization of the packet's FLITs;
+// RetrainAfter consecutive errors on the link (across packets) force a
+// retraining pause. Returns the tick the leg finally settles, the number
+// of retransmission rounds, and whether the retry budget was exhausted
+// (the leg is then poisoned, settling at the last failed attempt).
+func (d *Device) retryLeg(li int, serial uint64, leg uint8, flits, txEnd uint64) (uint64, int, bool) {
+	c := &d.cfg
+	maxRetries := c.Fault.MaxRetriesOrDefault()
+	retrainAfter := c.Fault.RetrainAfterOrDefault()
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		if !d.inj.Corrupt(li, serial, leg, attempt, int(flits)) {
+			d.consecErr[li] = 0
+			return txEnd, retries, false
+		}
+		d.consecErr[li]++
+		if d.consecErr[li] >= retrainAfter {
+			d.linkFaults[li].Retrains++
+			d.stats.RetrainEvents++
+			txEnd += c.TRetrain
+			d.consecErr[li] = 0
+		}
+		if attempt >= maxRetries {
+			return txEnd, retries, true
+		}
+		retries++
+		d.linkFaults[li].Retries++
+		d.stats.Retries++
+		d.stats.RetransmittedBytes += flits * FlitBytes
+		d.stats.TransferredBytes += flits * FlitBytes
+		txEnd += c.TRetry + flits*c.TFlit
+	}
+}
+
+// poison records a poisoned response on link li.
+func (d *Device) poison(li int) {
+	d.stats.PoisonedResponses++
+	d.linkFaults[li].Poisoned++
+}
+
+// DebugLinks renders the per-link horizon and fault state for watchdog and
+// deadlock diagnostics. The format is stable and deterministic.
+func (d *Device) DebugLinks() string {
+	var b strings.Builder
+	for i := range d.links {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		l := &d.links[i]
+		leaked := 0
+		for _, rel := range l.tokens {
+			if rel == NeverTick {
+				leaked++
+			}
+		}
+		fmt.Fprintf(&b, "link%d{in=%d out=%d", i, l.in, l.out)
+		if len(l.tokens) > 0 {
+			fmt.Fprintf(&b, " tokens=%d leaked=%d", len(l.tokens), leaked)
+		}
+		if d.linkFaults != nil {
+			f := d.linkFaults[i]
+			fmt.Fprintf(&b, " retries=%d retrains=%d poisoned=%d dropped=%d consec=%d",
+				f.Retries, f.Retrains, f.Poisoned, f.Dropped, d.consecErr[i])
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
 }
 
 // Stats returns a copy of the accumulated device statistics. The returned
@@ -278,6 +503,9 @@ func (d *Device) Stats() Stats {
 		}
 	}
 	s.VaultRequests = append([]uint64(nil), d.stats.VaultRequests...)
+	if d.linkFaults != nil {
+		s.LinkFaults = append([]LinkFaultStats(nil), d.linkFaults...)
+	}
 	return s
 }
 
@@ -293,10 +521,29 @@ func (d *Device) Reset() {
 		}
 	}
 	d.next = 0
+	d.serial = 0
+	for i := range d.consecErr {
+		d.consecErr[i] = 0
+	}
+	for i := range d.linkFaults {
+		d.linkFaults[i] = LinkFaultStats{}
+	}
 	for i := range d.sizeHist {
 		d.sizeHist[i] = 0
 	}
 	d.stats = Stats{VaultRequests: make([]uint64, d.cfg.Vaults)}
+}
+
+// LinkFaultStats breaks the fault counters down per link.
+type LinkFaultStats struct {
+	// Retries is the number of link retransmission rounds on this link.
+	Retries uint64
+	// Retrains counts link retraining events (consecutive-error bursts).
+	Retrains uint64
+	// Poisoned counts responses returned with poison instead of data.
+	Poisoned uint64
+	// Dropped counts responses that vanished entirely.
+	Dropped uint64
 }
 
 // Stats aggregates device activity.
@@ -310,7 +557,8 @@ type Stats struct {
 	PacketBytes uint64
 	// RequestedBytes is the total useful data inside those payloads.
 	RequestedBytes uint64
-	// TransferredBytes is everything on the links: payload + control FLITs.
+	// TransferredBytes is everything on the links: payload + control
+	// FLITs, including retransmissions forced by injected CRC errors.
 	TransferredBytes uint64
 	RowActivations   uint64
 	RowHits          uint64 // open-page mode only
@@ -321,6 +569,16 @@ type Stats struct {
 	ConflictWait  uint64 // cycles lost to busy banks
 	TokenWait     uint64 // cycles spent waiting for link flow-control tokens
 	LastDone      uint64 // completion tick of the latest response
+
+	// Fault-injection counters. All stay zero with faults disabled.
+	Retries            uint64 // link retransmission rounds across all links
+	RetrainEvents      uint64 // link retraining events
+	PoisonedResponses  uint64 // responses poisoned by retry exhaustion
+	DroppedResponses   uint64 // responses that never arrived
+	TokenStarved       uint64 // requests rejected because every link token leaked
+	RetransmittedBytes uint64 // link bytes moved again by retransmissions
+	// LinkFaults is the per-link fault breakdown; nil with faults off.
+	LinkFaults []LinkFaultStats
 }
 
 // SizeCount is one row of the packet-size histogram.

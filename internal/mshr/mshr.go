@@ -41,10 +41,13 @@ type Target struct {
 	Payload uint32
 }
 
-// Sub is a subentry: a waiter expressed relative to its entry.
+// Sub is a subentry: a waiter expressed relative to its entry. Payload
+// carries the waiter's useful-byte count so a failed entry's span can be
+// reconstructed into fresh Targets and re-issued.
 type Sub struct {
-	LineID uint8 // which line of the entry, per Equation 2
-	Token  uint64
+	LineID  uint8 // which line of the entry, per Equation 2
+	Token   uint64
+	Payload uint32
 }
 
 // Entry is one dynamic MSHR entry: an outstanding coalesced memory request.
@@ -146,18 +149,29 @@ type Stats struct {
 	Completions uint64
 }
 
-// NewFile builds an MSHR file.
-func NewFile(cfg Config) (*File, error) {
-	if cfg.MaxSubentries == 0 {
-		cfg.MaxSubentries = 8
-	}
+// Validate checks the configuration. A zero MaxSubentries is legal — it
+// means the paper-typical 8.
+func (cfg Config) Validate() error {
 	switch {
 	case cfg.Entries <= 0:
-		return nil, fmt.Errorf("mshr: need at least one entry")
+		return fmt.Errorf("mshr: need at least one entry")
+	case cfg.MaxSubentries < 0:
+		return fmt.Errorf("mshr: negative subentry bound %d", cfg.MaxSubentries)
 	case cfg.LineBytes == 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0:
-		return nil, fmt.Errorf("mshr: line size %d not a power of two", cfg.LineBytes)
+		return fmt.Errorf("mshr: line size %d not a power of two", cfg.LineBytes)
 	case cfg.BlockBytes < cfg.LineBytes:
-		return nil, fmt.Errorf("mshr: block size %d below line size %d", cfg.BlockBytes, cfg.LineBytes)
+		return fmt.Errorf("mshr: block size %d below line size %d", cfg.BlockBytes, cfg.LineBytes)
+	}
+	return nil
+}
+
+// NewFile builds an MSHR file.
+func NewFile(cfg Config) (*File, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxSubentries == 0 {
+		cfg.MaxSubentries = 8
 	}
 	f := &File{cfg: cfg, entries: make([]Entry, cfg.Entries), free: cfg.Entries}
 	for i := range f.entries {
@@ -244,7 +258,7 @@ func (f *File) Insert(baseLine uint64, lines int, write bool, targets []Target) 
 			f.stats.FullStalls++
 			continue
 		}
-		e.subs = append(e.subs, Sub{LineID: uint8(t.Line - e.baseLine), Token: t.Token})
+		e.subs = append(e.subs, Sub{LineID: uint8(t.Line - e.baseLine), Token: t.Token, Payload: t.Payload})
 		e.payload += uint64(t.Payload)
 		anyMerged = true
 		out.MergedTargets++
@@ -283,7 +297,7 @@ func (f *File) Insert(baseLine uint64, lines int, write bool, targets []Target) 
 			e := f.alloc(chunk.base, chunk.len, write)
 			for _, t := range remaining {
 				if t.Line >= chunk.base && t.Line < chunk.base+uint64(chunk.len) {
-					e.subs = append(e.subs, Sub{LineID: uint8(t.Line - chunk.base), Token: t.Token})
+					e.subs = append(e.subs, Sub{LineID: uint8(t.Line - chunk.base), Token: t.Token, Payload: t.Payload})
 					e.payload += uint64(t.Payload)
 				}
 			}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"sort"
 
 	"hmccoal/internal/cache"
@@ -84,7 +85,10 @@ func AnalyzePayload(hier cache.HierarchyConfig, accs []trace.Access, width int) 
 		if a.Kind == trace.FenceOp {
 			continue
 		}
-		_, ms := h.Access(a)
+		_, ms, err := h.Access(a)
+		if err != nil {
+			return res, fmt.Errorf("sim: %w", err)
+		}
 		for _, m := range ms {
 			if m.WriteBack {
 				continue // write-backs are full-line by definition; excluded

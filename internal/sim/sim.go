@@ -78,6 +78,32 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate checks the assembled system configuration, wrapping the
+// component validators so a bad flag surfaces as one error from NewSystem
+// instead of a panic mid-run.
+func (c Config) Validate() error {
+	if c.ClockGHz <= 0 {
+		return fmt.Errorf("sim: clock %v GHz invalid", c.ClockGHz)
+	}
+	if c.MaxOutstanding <= 0 {
+		return fmt.Errorf("sim: MaxOutstanding must be positive")
+	}
+	if err := c.Hierarchy.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if c.Coalescer.LineBytes != c.Hierarchy.LLC.LineBytes {
+		return fmt.Errorf("sim: coalescer line size %d != LLC line size %d",
+			c.Coalescer.LineBytes, c.Hierarchy.LLC.LineBytes)
+	}
+	if err := c.Coalescer.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := c.HMC.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
+}
+
 func (c Config) withMode() Config {
 	switch c.Mode {
 	case Baseline:
@@ -103,6 +129,11 @@ type Result struct {
 	HMCRequests uint64
 	// StallCycles sums core stall time (MLP limit + fences).
 	StallCycles uint64
+	// FailedLoads counts demand misses whose data never arrived intact:
+	// the link retry protocol and the coalescer's span retries both gave
+	// up, and the waiter was completed with the error bit. Zero unless
+	// fault injection is enabled.
+	FailedLoads uint64
 
 	Coalescer coalescer.Stats
 	MSHR      struct {
@@ -181,6 +212,7 @@ type System struct {
 	stall       []uint64 // accumulated stall per CPU
 	pushedTok   uint64   // demand tokens handed to the coalescer
 	doneTok     uint64   // demand tokens returned by completions
+	failedTok   uint64   // demand tokens completed with the error bit set
 
 	// fetching tracks cache lines whose fill is still in flight. The tag
 	// arrays install lines instantly (internal/cache), but until the
@@ -213,19 +245,12 @@ const writeBackToken = ^uint64(0)
 // NewSystem builds a system from cfg.
 func NewSystem(cfg Config) (*System, error) {
 	cfg = cfg.withMode()
-	if cfg.ClockGHz <= 0 {
-		return nil, fmt.Errorf("sim: clock %v GHz invalid", cfg.ClockGHz)
-	}
-	if cfg.MaxOutstanding <= 0 {
-		return nil, fmt.Errorf("sim: MaxOutstanding must be positive")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	h, err := cache.NewHierarchy(cfg.Hierarchy)
 	if err != nil {
 		return nil, err
-	}
-	if cfg.Coalescer.LineBytes != cfg.Hierarchy.LLC.LineBytes {
-		return nil, fmt.Errorf("sim: coalescer line size %d != LLC line size %d",
-			cfg.Coalescer.LineBytes, cfg.Hierarchy.LLC.LineBytes)
 	}
 	d, err := hmc.NewDevice(cfg.HMC)
 	if err != nil {
@@ -240,13 +265,13 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	lineBytes := uint64(cfg.Coalescer.LineBytes)
 	c, err := coalescer.New(cfg.Coalescer,
-		func(tick uint64, e *mshr.Entry) uint64 {
+		func(tick uint64, e *mshr.Entry) coalescer.IssueResult {
 			packet := uint32(e.Lines()) * cfg.Coalescer.LineBytes
 			requested := uint32(e.Payload())
 			if requested > packet {
 				requested = packet
 			}
-			done, err := d.Submit(tick, hmc.Request{
+			comp, err := d.SubmitPacket(tick, hmc.Request{
 				Addr:           e.BaseLine() * lineBytes,
 				PacketBytes:    packet,
 				RequestedBytes: requested,
@@ -255,9 +280,14 @@ func NewSystem(cfg Config) (*System, error) {
 			if err != nil {
 				panic(fmt.Sprintf("sim: illegal HMC request from coalescer: %v", err))
 			}
-			return done
+			return coalescer.IssueResult{
+				Done:    comp.Done,
+				Fault:   comp.Poisoned,
+				Dropped: comp.Dropped,
+				Retries: comp.Retries,
+			}
 		},
-		func(tick uint64, subs []mshr.Sub) {
+		func(tick uint64, subs []mshr.Sub, fault bool) {
 			for _, sub := range subs {
 				if sub.Token == writeBackToken {
 					continue
@@ -265,6 +295,13 @@ func NewSystem(cfg Config) (*System, error) {
 				idx := sub.Token % uint64(len(s.tokenCPU))
 				s.outstanding[s.tokenCPU[idx]]--
 				s.doneTok++
+				if fault {
+					// The retry budget ran out and the waiter got an error
+					// response instead of data. The core still unblocks (the
+					// fault is delivered, not dropped) but the failure is
+					// accounted.
+					s.failedTok++
+				}
 				// The line's fill has arrived: stamping the token's ring slot
 				// invalidates the line's fetch-table entry (if this token owns
 				// it) without touching the table itself.
@@ -379,6 +416,12 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 		// With no runnable CPU, only memory progress can unpark one.
 		if len(cursors) == 0 {
 			if !memOK {
+				// No runnable core and no memory event: either a response was
+				// dropped on the link (watchdog names the doomed line) or this
+				// is a genuine scheduling deadlock.
+				if werr := s.coal.WatchdogError(); werr != nil {
+					return Result{}, fmt.Errorf("sim: %w; links: %s", werr, s.device.DebugLinks())
+				}
 				return Result{}, s.deadlockError(isParked, parkedTick, parkedFence)
 			}
 			s.coal.Advance(memTick)
@@ -428,9 +471,12 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 			continue
 		default:
 			s.coal.Advance(effTick)
-			_, misses := s.hierarchy.Access(trace.Access{
+			_, misses, err := s.hierarchy.Access(trace.Access{
 				Addr: a.Addr, Size: a.Size, Kind: a.Kind, CPU: a.CPU, Tick: effTick,
 			})
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: %w", err)
+			}
 			var missedLines [8]uint64 // lines missed by THIS access (small fixed buffer)
 			nMissed := 0
 			for _, m := range misses {
@@ -510,13 +556,17 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 		}
 	}
 
-	idle := s.coal.Drain(last)
+	idle, err := s.coal.Drain(last)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %w; links: %s", err, s.device.DebugLinks())
+	}
 	if s.doneTok != s.pushedTok {
 		return Result{}, fmt.Errorf("sim: token conservation broken: %d pushed, %d completed", s.pushedTok, s.doneTok)
 	}
 
 	res := Result{
 		RuntimeCycles: idle,
+		FailedLoads:   s.failedTok,
 		Coalescer:     s.coal.Stats(),
 		HMC:           s.device.Stats(),
 		LLC:           s.hierarchy.LLCStats(),
@@ -650,5 +700,27 @@ func (r Result) Summary() string {
 	fmt.Fprintf(&b, "bandwidth efficiency   %11.2f%% (device, Equation 1)\n", 100*r.HMC.BandwidthEfficiency())
 	fmt.Fprintf(&b, "row activations        %12d (%d conflicts)\n", r.HMC.RowActivations, r.HMC.BankConflicts)
 	fmt.Fprintf(&b, "core stall cycles      %12d\n", r.StallCycles)
+	// Fault-injection lines render only when something actually went wrong
+	// on the link, so clean-run summaries stay byte-identical with faults
+	// compiled in but disabled.
+	if r.FaultsObserved() {
+		fmt.Fprintf(&b, "link retries           %12d (%d retrains, %.2f MB retransmitted)\n",
+			r.HMC.Retries, r.HMC.RetrainEvents, float64(r.HMC.RetransmittedBytes)/1e6)
+		fmt.Fprintf(&b, "poisoned responses     %12d (%d dropped)\n",
+			r.HMC.PoisonedResponses, r.HMC.DroppedResponses)
+		fmt.Fprintf(&b, "packet retries         %12d (%d failed loads)\n",
+			r.Coalescer.RetriedPackets, r.FailedLoads)
+		fmt.Fprintf(&b, "degraded mode          %12d cycles (%d entries, %d splits)\n",
+			r.Coalescer.DegradedCycles, r.Coalescer.DegradedEntries, r.Coalescer.DegradedSplits)
+	}
 	return b.String()
+}
+
+// FaultsObserved reports whether the run saw any injected link fault. All
+// the counters it checks stay zero with fault injection disabled.
+func (r Result) FaultsObserved() bool {
+	return r.HMC.Retries > 0 || r.HMC.RetrainEvents > 0 ||
+		r.HMC.PoisonedResponses > 0 || r.HMC.DroppedResponses > 0 ||
+		r.Coalescer.RetriedPackets > 0 || r.Coalescer.DegradedCycles > 0 ||
+		r.Coalescer.DegradedEntries > 0 || r.FailedLoads > 0
 }

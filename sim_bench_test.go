@@ -78,6 +78,33 @@ func BenchmarkSimWorkloads(b *testing.B) {
 	}
 }
 
+// BenchmarkSimFaults runs the two-phase system with link fault injection
+// at increasing error rates. The ber0 case IS the no-fault hot path with
+// the fault machinery compiled in: its allocs/op must equal
+// BenchmarkSim/TwoPhase (BENCH_2.json pins 328) — fault support costs
+// zero allocations until a fault actually fires.
+func BenchmarkSimFaults(b *testing.B) {
+	accs := simBenchTrace(b, "HPCG")
+	for _, ber := range []float64{0, 1e-6, 1e-4} {
+		b.Run(fmt.Sprintf("ber%.0e", ber), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.HMC.Fault = FaultConfig{Seed: 1, BER: ber}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys, err := NewSystem(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.Run(accs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(accs)), "ns/access")
+		})
+	}
+}
+
 // BenchmarkSimScale checks that per-access cost stays flat as the trace
 // grows (the Figure 13-scale regime of millions of accesses).
 func BenchmarkSimScale(b *testing.B) {

@@ -198,3 +198,68 @@ func MSHRSweepContext(ctx context.Context, name string, p TraceParams, entries [
 
 // defaultTimeouts is the Figure 14 sweep grid.
 func defaultTimeouts() []uint64 { return []uint64{16, 20, 24, 28} }
+
+// FaultSweepRow is one injected-error-rate point of a fault sweep: the
+// same trace replayed under all three architectures with the same fault
+// seed.
+type FaultSweepRow struct {
+	BER      float64
+	Baseline Result
+	DMCOnly  Result
+	TwoPhase Result
+}
+
+// Speedup is the two-phase runtime improvement over the conventional MHA
+// at this error rate.
+func (r FaultSweepRow) Speedup() float64 {
+	if r.Baseline.RuntimeCycles == 0 {
+		return 0
+	}
+	return 1 - float64(r.TwoPhase.RuntimeCycles)/float64(r.Baseline.RuntimeCycles)
+}
+
+// defaultBERs is the fault sweep grid: clean link up to one error per
+// ~10^4 bits.
+func defaultBERs() []float64 { return []float64{0, 1e-7, 1e-6, 1e-5, 1e-4} }
+
+// FaultSweep runs one benchmark across injected link error rates under all
+// three architectures; see FaultSweepContext.
+func FaultSweep(name string, p TraceParams, seed uint64, bers []float64) ([]FaultSweepRow, error) {
+	return FaultSweepContext(context.Background(), name, p, seed, bers, SweepOptions{})
+}
+
+// FaultSweepContext fans the (error rate × mode) grid across the worker
+// pool. Fault decisions are keyed by (seed, link, packet serial), so the
+// rows are byte-identical at any worker count. A nil bers uses the default
+// grid.
+func FaultSweepContext(ctx context.Context, name string, p TraceParams, seed uint64, bers []float64, opt SweepOptions) ([]FaultSweepRow, error) {
+	if len(bers) == 0 {
+		bers = defaultBERs()
+	}
+	accs, err := GenerateTrace(name, p)
+	if err != nil {
+		return nil, err
+	}
+	nModes := len(runAllModes)
+	cells, err := sweep.Map(ctx, len(bers)*nModes, opt.engine(),
+		func(_ context.Context, i int) (Result, error) {
+			b, m := i/nModes, i%nModes
+			cfg := DefaultConfig()
+			cfg.HMC.Fault.Seed = seed
+			cfg.HMC.Fault.BER = bers[b]
+			return runMode(name, runAllModes[m], cfg, accs)
+		})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]FaultSweepRow, len(bers))
+	for b := range bers {
+		rows[b] = FaultSweepRow{
+			BER:      bers[b],
+			Baseline: cells[b*nModes+0],
+			DMCOnly:  cells[b*nModes+1],
+			TwoPhase: cells[b*nModes+2],
+		}
+	}
+	return rows, nil
+}
