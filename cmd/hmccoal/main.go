@@ -8,12 +8,17 @@
 //	hmccoal -fig 8 -ops 8000         # one figure at a larger scale
 //	hmccoal -fig 10 -bench HPCG      # Figure 10 for a chosen benchmark
 //	hmccoal -fig fault -bench STREAM # fault sweep: efficiency vs link BER
+//	hmccoal -fig all -checks         # same figures, invariant checker on
 //	hmccoal -list                    # list the benchmarks
+//
+// Exit codes: 0 success, 1 usage/configuration error, 2 simulation or
+// invariant-check failure.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,28 +36,47 @@ var validFigs = map[string]bool{
 	"11": true, "12": true, "13": true, "14": true, "15": true, "fault": true,
 }
 
-func main() {
-	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1,2,8,9,10,11,12,13,14,15, 'fault' or 'all'")
-		ops     = flag.Int("ops", 4000, "approximate memory operations per CPU (scale)")
-		seed    = flag.Int64("seed", 3, "workload random seed")
-		cpus    = flag.Int("cpus", 12, "number of simulated CPUs")
-		bench   = flag.String("bench", "HPCG", "benchmark for figure 10")
-		list    = flag.Bool("list", false, "list benchmarks and exit")
-		chart   = flag.Bool("chart", false, "append ASCII bar charts to figures 8 and 15")
-		workers = flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = serial)")
-		replay  = flag.String("trace", "", "replay a binary trace file (from tracegen/rvsim) instead of running the benchmark suite")
-		asJSON  = flag.Bool("json", false, "with -trace: emit the full results as JSON")
+// Exit codes: flag/config mistakes are the user's to fix (1); a failed or
+// invariant-violating simulation is the simulator's fault (2).
+const (
+	exitUsage = 1
+	exitRun   = 2
+)
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
-		exectrace  = flag.String("exectrace", "", "write a runtime execution trace to this file (-trace is taken by replay)")
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("hmccoal", flag.ContinueOnError)
+	var (
+		fig     = fs.String("fig", "all", "figure to regenerate: 1,2,8,9,10,11,12,13,14,15, 'fault' or 'all'")
+		ops     = fs.Int("ops", 4000, "approximate memory operations per CPU (scale)")
+		seed    = fs.Int64("seed", 3, "workload random seed")
+		cpus    = fs.Int("cpus", 12, "number of simulated CPUs")
+		bench   = fs.String("bench", "HPCG", "benchmark for figure 10")
+		list    = fs.Bool("list", false, "list benchmarks and exit")
+		chart   = fs.Bool("chart", false, "append ASCII bar charts to figures 8 and 15")
+		workers = fs.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = serial)")
+		replay  = fs.String("trace", "", "replay a binary trace file (from tracegen/rvsim) instead of running the benchmark suite")
+		asJSON  = fs.Bool("json", false, "with -trace: emit the full results as JSON")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
+		exectrace  = fs.String("exectrace", "", "write a runtime execution trace to this file (-trace is taken by replay)")
+		checks     = fs.Bool("checks", false, "enable the runtime invariant checker in every simulation (results identical; violations become errors)")
+		checkpoint = fs.String("checkpoint", "", "JSONL checkpoint base path: each sweep persists completed jobs to <base>.<sweep> and resumes from it")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return exitUsage
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile, *exectrace)
 	if err != nil {
-		fatal(err)
+		return usageErr(err)
 	}
 	defer stopProf()
 
@@ -60,10 +84,14 @@ func main() {
 	defer stop()
 
 	if *replay != "" {
-		if err := replayTrace(*replay, *cpus, *asJSON); err != nil {
-			fatal(err)
+		accs, err := loadTrace(*replay)
+		if err != nil {
+			return usageErr(err)
 		}
-		return
+		if err := replayTrace(accs, *cpus, *checks, *asJSON); err != nil {
+			return runErr(err)
+		}
+		return 0
 	}
 
 	if *list {
@@ -71,7 +99,7 @@ func main() {
 			desc, _ := hmccoal.DescribeBenchmark(name)
 			fmt.Printf("%-9s %s\n", name, desc)
 		}
-		return
+		return 0
 	}
 
 	p := hmccoal.TraceParams{CPUs: *cpus, OpsPerCPU: *ops, Seed: *seed}
@@ -79,7 +107,7 @@ func main() {
 	for _, f := range strings.Split(*fig, ",") {
 		f = strings.TrimSpace(f)
 		if !validFigs[f] {
-			fatal(fmt.Errorf("unknown figure %q (valid: 1, 2, 8, 9, 10, 11, 12, 13, 14, 15, fault, all)", f))
+			return usageErr(fmt.Errorf("unknown figure %q (valid: 1, 2, 8, 9, 10, 11, 12, 13, 14, 15, fault, all)", f))
 		}
 		want[f] = true
 	}
@@ -88,8 +116,12 @@ func main() {
 
 	if need("10") || need("fault") {
 		if err := validBenchmark(*bench); err != nil {
-			fatal(err)
+			return usageErr(err)
 		}
+	}
+
+	opts := func(tag string) hmccoal.SweepOptions {
+		return sweepOptions(*workers, *checks, *checkpoint, tag)
 	}
 
 	if need("1") {
@@ -112,10 +144,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "running %d benchmarks × 3 architectures at %d ops/CPU…\n",
 			len(hmccoal.Benchmarks()), *ops)
 		var err error
-		runs, err = hmccoal.RunAllContext(ctx, p, sweepOptions(*workers))
+		runs, err = hmccoal.RunAllContext(ctx, p, opts("runall"))
 		fmt.Fprintln(os.Stderr)
 		if err != nil {
-			fatal(err)
+			return runErr(err)
 		}
 	}
 
@@ -152,10 +184,10 @@ func main() {
 	}
 	if need("14") {
 		section("Figure 14 — average coalescer latency vs timeout T")
-		table, err := hmccoal.Figure14TableContext(ctx, p, nil, sweepOptions(*workers))
+		table, err := hmccoal.Figure14TableContext(ctx, p, nil, opts("fig14"))
 		fmt.Fprintln(os.Stderr)
 		if err != nil {
-			fatal(err)
+			return runErr(err)
 		}
 		fmt.Print(table)
 	}
@@ -168,28 +200,34 @@ func main() {
 	}
 	if need("fault") {
 		section(fmt.Sprintf("Fault sweep — efficiency and speedup vs link error rate (%s)", *bench))
-		rows, err := hmccoal.FaultSweepContext(ctx, *bench, p, uint64(*seed), nil, sweepOptions(*workers))
+		rows, err := hmccoal.FaultSweepContext(ctx, *bench, p, uint64(*seed), nil, opts("fault"))
 		fmt.Fprintln(os.Stderr)
 		if err != nil {
-			fatal(err)
+			return runErr(err)
 		}
 		fmt.Print(hmccoal.FaultSweepTable(rows))
 	}
+	return 0
 }
 
-// replayTrace runs a captured trace file under the conventional MHA and
-// the memory coalescer and prints both summaries.
-func replayTrace(path string, cpus int, asJSON bool) error {
+// loadTrace reads and orders a captured trace file; a bad path or corrupt
+// file is the user's mistake, so it is classified as a usage error.
+func loadTrace(path string) ([]trace.Access, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
 	accs, err := trace.NewReader(f).ReadAll()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	accs = trace.Merge(accs) // captured traces may be loosely ordered
+	return trace.Merge(accs), nil // captured traces may be loosely ordered
+}
+
+// replayTrace runs a captured trace under the conventional MHA and the
+// memory coalescer and prints both summaries.
+func replayTrace(accs []trace.Access, cpus int, checks, asJSON bool) error {
 	if !asJSON {
 		fmt.Println(trace.Summarize(accs))
 	}
@@ -198,6 +236,7 @@ func replayTrace(path string, cpus int, asJSON bool) error {
 		cfg := hmccoal.DefaultConfig()
 		cfg.Hierarchy.CPUs = cpus
 		cfg.Mode = mode
+		cfg.Checks = checks
 		sys, err := hmccoal.NewSystem(cfg)
 		if err != nil {
 			return err
@@ -222,16 +261,23 @@ func replayTrace(path string, cpus int, asJSON bool) error {
 	return nil
 }
 
-// sweepOptions wires the worker count and a stderr progress meter into a
-// parallel sweep. Progress goes to stderr only, so stdout stays
-// byte-identical at any worker count.
-func sweepOptions(workers int) hmccoal.SweepOptions {
-	return hmccoal.SweepOptions{
+// sweepOptions wires the worker count, the invariant-checker toggle and a
+// stderr progress meter into a parallel sweep. Progress goes to stderr
+// only, so stdout stays byte-identical at any worker count. Each sweep
+// grid gets its own checkpoint file (<base>.<tag>) so resumes never mix
+// grids.
+func sweepOptions(workers int, checks bool, checkpoint, tag string) hmccoal.SweepOptions {
+	opt := hmccoal.SweepOptions{
 		Workers: workers,
+		Checks:  checks,
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d simulations", done, total)
 		},
 	}
+	if checkpoint != "" {
+		opt.Checkpoint = checkpoint + "." + tag
+	}
+	return opt
 }
 
 // validBenchmark rejects names that are not in the benchmark suite.
@@ -248,7 +294,14 @@ func section(title string) {
 	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
 }
 
-func fatal(err error) {
+// usageErr reports a configuration mistake (exit 1); runErr reports a
+// failed simulation — including invariant violations (exit 2).
+func usageErr(err error) int {
 	fmt.Fprintln(os.Stderr, "hmccoal:", err)
-	os.Exit(1)
+	return exitUsage
+}
+
+func runErr(err error) int {
+	fmt.Fprintln(os.Stderr, "hmccoal:", err)
+	return exitRun
 }

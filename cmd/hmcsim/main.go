@@ -8,10 +8,14 @@
 //	hmcsim -sweep                       # request-size sweep
 //	hmcsim -pattern seq -size 64        # one traffic pattern
 //	hmcsim -pattern scatter16           # the 16×16 B motivating example
+//
+// Exit codes: 0 success, 1 usage/configuration error, 2 device run
+// failure.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -25,31 +29,51 @@ import (
 	"hmccoal/internal/sweep"
 )
 
-func main() {
-	var (
-		sizeSweep = flag.Bool("sweep", false, "run the request-size sweep and exit")
-		pattern   = flag.String("pattern", "seq", "traffic pattern: seq, random, scatter16")
-		size      = flag.Uint("size", 64, "request payload bytes (FLIT multiple)")
-		requests  = flag.Int("n", 100000, "number of requests")
-		seed      = flag.Int64("seed", 1, "random seed")
-		workers   = flag.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
-		faults    = flag.String("faults", "", "link fault injection, e.g. seed=1,ber=1e-6[,drop=1e-7][,retries=3]")
+// Exit codes: flag/config mistakes are the user's to fix (1); a failed
+// device run is the simulator's fault (2).
+const (
+	exitUsage = 1
+	exitRun   = 2
+)
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
-		exectrace  = flag.String("trace", "", "write a runtime execution trace to this file")
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("hmcsim", flag.ContinueOnError)
+	var (
+		sizeSweep = fs.Bool("sweep", false, "run the request-size sweep and exit")
+		pattern   = fs.String("pattern", "seq", "traffic pattern: seq, random, scatter16")
+		size      = fs.Uint("size", 64, "request payload bytes (FLIT multiple)")
+		requests  = fs.Int("n", 100000, "number of requests")
+		seed      = fs.Int64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
+		faults    = fs.String("faults", "", "link fault injection, e.g. seed=1,ber=1e-6[,drop=1e-7][,retries=3]")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
+		exectrace  = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return exitUsage
+	}
 
 	faultCfg, err := parseFaults(*faults)
 	if err != nil {
-		fatal(err)
+		return usageErr(err)
+	}
+	if *size < hmc.MinRequestBytes || *size > hmc.MaxRequestBytes || *size%hmc.FlitBytes != 0 {
+		return usageErr(fmt.Errorf("-size %d: want a FLIT-aligned payload in [%d,%d]",
+			*size, hmc.MinRequestBytes, hmc.MaxRequestBytes))
 	}
 
 	stopProf, perr := profiling.Start(*cpuprofile, *memprofile, *exectrace)
 	if perr != nil {
-		fmt.Fprintln(os.Stderr, perr)
-		os.Exit(1)
+		return usageErr(perr)
 	}
 	defer stopProf()
 
@@ -87,41 +111,53 @@ func main() {
 					sz, s.Requests, us, gbps, 100*s.BandwidthEfficiency()), nil
 			})
 		if err != nil {
-			fatal(err)
+			return runErr(err)
 		}
 		fmt.Printf("%8s %12s %12s %14s %12s\n", "size", "requests", "time(µs)", "GB/s(payload)", "efficiency")
 		for _, row := range rows {
 			fmt.Println(row)
 		}
-		return
+		return 0
 	}
 
 	dev, err := newDevice(faultCfg)
 	if err != nil {
-		fatal(err)
+		return usageErr(err)
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	var last uint64
+	step := func(addr uint64, size uint32) error {
+		done, err := submit(dev, addr, size)
+		if err != nil {
+			return err
+		}
+		last = max(last, done)
+		return nil
+	}
+	var runErrV error
 	switch *pattern {
 	case "seq":
-		for i := 0; i < *requests; i++ {
-			last = max(last, submit(dev, uint64(i)*256, uint32(*size)))
+		for i := 0; i < *requests && runErrV == nil; i++ {
+			runErrV = step(uint64(i)*256, uint32(*size))
 		}
 	case "random":
-		for i := 0; i < *requests; i++ {
-			last = max(last, submit(dev, uint64(rng.Int63n(1<<25))*256, uint32(*size)))
+		for i := 0; i < *requests && runErrV == nil; i++ {
+			runErrV = step(uint64(rng.Int63n(1<<25))*256, uint32(*size))
 		}
 	case "scatter16":
 		// §2.2.1: 16 separate 16 B loads per 256 B block vs one coalesced
 		// load — row reopened 16 times.
-		for i := 0; i < *requests/16; i++ {
+		for i := 0; i < *requests/16 && runErrV == nil; i++ {
 			base := uint64(i) * 256
-			for j := uint64(0); j < 16; j++ {
-				last = max(last, submit(dev, base+j*16, 16))
+			for j := uint64(0); j < 16 && runErrV == nil; j++ {
+				runErrV = step(base+j*16, 16)
 			}
 		}
 	default:
-		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+		return usageErr(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+	if runErrV != nil {
+		return runErr(runErrV)
 	}
 
 	s := dev.Stats()
@@ -137,6 +173,7 @@ func main() {
 			s.Retries, s.RetrainEvents, float64(s.RetransmittedBytes)/1e6)
 		fmt.Printf("  poisoned responses   %d (%d dropped)\n", s.PoisonedResponses, s.DroppedResponses)
 	}
+	return 0
 }
 
 // parseFaults decodes the -faults flag: comma-separated key=value pairs.
@@ -180,18 +217,25 @@ func newDevice(f fault.Config) (*hmc.Device, error) {
 // submit issues one request and returns its completion tick. A dropped
 // response (fault injection) completes never; callers track the last
 // real tick, so NeverTick is simply ignored by the max.
-func submit(dev *hmc.Device, addr uint64, size uint32) uint64 {
+func submit(dev *hmc.Device, addr uint64, size uint32) (uint64, error) {
 	comp, err := dev.SubmitPacket(0, hmc.Request{Addr: addr, PacketBytes: size, RequestedBytes: size})
 	if err != nil {
-		fatal(err)
+		return 0, err
 	}
 	if comp.Dropped {
-		return 0
+		return 0, nil
 	}
-	return comp.Done
+	return comp.Done, nil
 }
 
-func fatal(err error) {
+// usageErr reports a configuration mistake (exit 1); runErr reports a
+// failed device run (exit 2).
+func usageErr(err error) int {
 	fmt.Fprintln(os.Stderr, "hmcsim:", err)
-	os.Exit(1)
+	return exitUsage
+}
+
+func runErr(err error) int {
+	fmt.Fprintln(os.Stderr, "hmcsim:", err)
+	return exitRun
 }

@@ -12,11 +12,19 @@
 package coalescer
 
 import (
+	"errors"
 	"fmt"
 
+	"hmccoal/internal/invariant"
 	"hmccoal/internal/mshr"
 	"hmccoal/internal/sortnet"
 )
+
+// ErrWatchdog marks the Drain diagnostic for responses that will never
+// arrive (dropped on a faulty link). Callers that inject faults use
+// errors.Is(err, ErrWatchdog) to tell this expected outcome apart from a
+// conservation violation.
+var ErrWatchdog = errors.New("watchdog")
 
 // Config parameterizes the coalescer. The zero value is not valid; start
 // from DefaultConfig.
@@ -203,6 +211,12 @@ type Coalescer struct {
 	faultCnt   int
 	degraded   bool
 	degradedAt uint64 // tick degraded mode was last entered
+
+	// check is the optional invariant checker (nil = disabled, free).
+	// viol latches the first conservation violation: the former panic
+	// sites record here and the event loop aborts on the next poll.
+	check *invariant.Checker
+	viol  error
 }
 
 // pendingReq is an input-buffer slot: the request plus its arrival tick,
@@ -366,6 +380,50 @@ func (c *Coalescer) adaptTimeout(cost uint64) {
 
 // Config returns the coalescer configuration.
 func (c *Coalescer) Config() Config { return c.cfg }
+
+// SetChecker attaches a runtime invariant checker to the coalescer and its
+// MSHR file. A nil checker (the default) disables continuous checking.
+func (c *Coalescer) SetChecker(ck *invariant.Checker) {
+	c.check = ck
+	c.file.SetChecker(ck)
+}
+
+// Err returns the first conservation violation the coalescer hit, or nil.
+// The violation is sticky: once set, further simulation is untrustworthy
+// and the caller should abort the run.
+func (c *Coalescer) Err() error { return c.viol }
+
+// setViol latches a violation (first one wins) and records it with the
+// attached checker, if any.
+func (c *Coalescer) setViol(v *invariant.Violation) {
+	c.check.Record(v)
+	if c.viol == nil {
+		c.viol = v
+	}
+}
+
+// CheckDrained audits the end-of-run conservation laws: after Drain every
+// queue must be empty and every MSHR entry free. It returns the first
+// violation found, or nil on a clean coalescer.
+func (c *Coalescer) CheckDrained(tick uint64) error {
+	if n := len(c.pending); n != 0 {
+		return c.check.Record(invariant.Violatef(invariant.RuleQueueLeak, tick,
+			c.DebugState(), "%d request(s) left in the input buffer after drain", n))
+	}
+	if c.crqLen != 0 {
+		return c.check.Record(invariant.Violatef(invariant.RuleQueueLeak, tick,
+			c.DebugState(), "%d packet(s) left in the CRQ after drain", c.crqLen))
+	}
+	if n := len(c.retryQ); n != 0 {
+		return c.check.Record(invariant.Violatef(invariant.RuleQueueLeak, tick,
+			c.DebugState(), "%d failed span(s) left in the retry queue after drain", n))
+	}
+	if n := len(c.inflight); n != 0 {
+		return c.check.Record(invariant.Violatef(invariant.RuleQueueLeak, tick,
+			c.DebugState(), "%d request(s) still in flight after drain", n))
+	}
+	return c.file.CheckLeaks(tick)
+}
 
 // MSHRStats exposes the MSHR file counters.
 func (c *Coalescer) MSHRStats() mshr.Stats { return c.file.Stats() }
@@ -535,6 +593,9 @@ func (c *Coalescer) Drain(now uint64) (uint64, error) {
 	}
 	idle := now
 	for len(c.inflight) > 0 || c.crqLen > 0 || len(c.retryQ) > 0 {
+		if c.viol != nil {
+			return idle, c.viol
+		}
 		next := ^uint64(0)
 		if len(c.inflight) > 0 && c.inflight[0].tick != NeverTick {
 			next = c.inflight[0].tick
@@ -555,8 +616,13 @@ func (c *Coalescer) Drain(now uint64) (uint64, error) {
 			}
 			// The CRQ head is ready but blocked with nothing in flight.
 			// A blocked head implies a full MSHR file, and every allocated
-			// entry is in flight — so this state indicates a bug.
-			panic("coalescer: CRQ stuck with no requests in flight")
+			// entry is in flight — so this state indicates a bug. Report it
+			// as a structured violation instead of tearing the process down.
+			v := invariant.Violatef(invariant.RuleCRQStuck, idle, c.DebugState(),
+				"CRQ stuck with no requests in flight (%d queued, MSHR free=%d)",
+				c.crqLen, c.file.Free())
+			c.setViol(v)
+			return idle, v
 		}
 		if next > idle {
 			idle = next
@@ -566,6 +632,9 @@ func (c *Coalescer) Drain(now uint64) (uint64, error) {
 			c.completeOne()
 		}
 		c.drainCRQ(idle)
+	}
+	if c.viol != nil {
+		return idle, c.viol
 	}
 	if c.degraded {
 		// Close the open degraded interval so the stats cover the run.
@@ -582,7 +651,15 @@ func (c *Coalescer) completeOne() {
 	// Capture the span before Complete invalidates the entry: a poisoned
 	// response may need to re-issue exactly these lines.
 	baseLine, lines, write := e.BaseLine(), e.Lines(), e.Write()
-	subs := c.file.Complete(e)
+	subs, err := c.file.Complete(e)
+	if err != nil {
+		if v, ok := invariant.As(err); ok {
+			c.setViol(v)
+		} else if c.viol == nil {
+			c.viol = err
+		}
+		return
+	}
 	c.freedAt = item.tick
 	if item.fault && item.attempt < c.maxPacketRetries() {
 		c.requeueFailed(item.tick, item.attempt, baseLine, lines, write, subs)
@@ -724,6 +801,23 @@ func (c *Coalescer) Watchdog() (WatchdogInfo, bool) {
 	return w, w.Dropped > 0
 }
 
+// DoomedTokens calls fn for every waiter token attached to an in-flight
+// request whose response will never arrive (a dropped packet). Such
+// tokens are permanently leaked — the completion path that would recycle
+// them is unreachable — so a token-ring allocator that wraps onto one of
+// their slots may reclaim the slot instead of reporting reuse.
+func (c *Coalescer) DoomedTokens(fn func(token uint64)) {
+	for i := range c.inflight {
+		it := &c.inflight[i]
+		if it.tick != NeverTick {
+			continue
+		}
+		for _, sub := range it.entry.Subs() {
+			fn(sub.Token)
+		}
+	}
+}
+
 // WatchdogError renders the watchdog diagnostic as an error, or nil when
 // every in-flight response is still expected.
 func (c *Coalescer) WatchdogError() error {
@@ -735,9 +829,11 @@ func (c *Coalescer) WatchdogError() error {
 }
 
 // watchdogError renders a deterministic diagnostic for a drained-out run
-// whose remaining responses will never arrive.
+// whose remaining responses will never arrive. The ErrWatchdog sentinel is
+// spliced in with %w so soak harnesses can classify the error while the
+// rendered message stays stable.
 func (c *Coalescer) watchdogError(w WatchdogInfo) error {
-	return fmt.Errorf("coalescer: watchdog: %d response(s) never arrived; oldest: line %d "+
+	return fmt.Errorf("coalescer: %w: %d response(s) never arrived; oldest: line %d "+
 		"(MSHR entry %d, %d lines, write=%v, %d waiters, issued at %d); %s",
-		w.Dropped, w.Line, w.Entry, w.Lines, w.Write, w.Waiters, w.IssuedAt, c.DebugState())
+		ErrWatchdog, w.Dropped, w.Line, w.Entry, w.Lines, w.Write, w.Waiters, w.IssuedAt, c.DebugState())
 }

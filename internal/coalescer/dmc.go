@@ -1,8 +1,7 @@
 package coalescer
 
 import (
-	"fmt"
-
+	"hmccoal/internal/invariant"
 	"hmccoal/internal/mshr"
 	"hmccoal/internal/trace"
 )
@@ -251,15 +250,29 @@ func (c *Coalescer) drainCRQ(now uint64) {
 		}
 		out, err := c.file.Insert(minLine, int(maxLine-minLine)+1, p.write, p.targets)
 		if err != nil {
-			panic("coalescer: CRQ packet rejected by MSHR file: " + err.Error())
+			// A CRQ packet the file rejects is malformed bookkeeping, not a
+			// recoverable stall: latch the violation and retire the packet so
+			// the event loop can abort instead of spinning on it.
+			if v, ok := invariant.As(err); ok {
+				c.setViol(v)
+			} else {
+				c.setViol(invariant.Violatef(invariant.RuleCRQInsert, now, c.DebugState(),
+					"CRQ packet [line %d, %d lines, write=%v, %d targets] rejected by MSHR file: %v",
+					p.baseLine, p.lines, p.write, len(p.targets), err))
+			}
+			c.crqPop()
+			return
 		}
 		issuedSubs := 0
 		for _, e := range out.Issued {
 			issuedSubs += len(e.Subs())
 		}
 		if out.MergedTargets+issuedSubs+len(out.Unplaced) != len(p.targets) {
-			panic(fmt.Sprintf("coalescer: target conservation broken: %d targets -> %d merged + %d issued + %d unplaced",
+			c.setViol(invariant.Violatef(invariant.RuleTargetConservation, now, c.DebugState(),
+				"%d targets -> %d merged + %d issued + %d unplaced",
 				len(p.targets), out.MergedTargets, issuedSubs, len(out.Unplaced)))
+			c.crqPop()
+			return
 		}
 		for _, e := range out.Issued {
 			c.stats.HMCRequests++

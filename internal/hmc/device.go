@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"hmccoal/internal/fault"
+	"hmccoal/internal/invariant"
 )
 
 // NeverTick marks a completion that will never happen: the response was
@@ -161,6 +162,17 @@ type Device struct {
 	serial     uint64
 	consecErr  []int
 	linkFaults []LinkFaultStats
+
+	// Invariant-checking state, maintained only when check is non-nil so
+	// the unchecked hot path pays one pointer compare per packet. The
+	// counters classify every issued packet's payload bytes by outcome;
+	// CheckConservation audits issued = delivered + poisoned + dropped.
+	check          *invariant.Checker
+	chkIssuedB     uint64
+	chkDeliveredB  uint64
+	chkPoisonedB   uint64
+	chkDroppedB    uint64
+	chkStarvedPkts uint64
 }
 
 type bankState struct {
@@ -204,6 +216,56 @@ func NewDevice(cfg Config) (*Device, error) {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// SetChecker attaches a runtime invariant checker. With a checker set the
+// device classifies every issued packet's payload bytes by outcome so
+// CheckConservation can audit the byte-conservation law; a nil checker
+// (the default) disables the bookkeeping entirely.
+func (d *Device) SetChecker(c *invariant.Checker) { d.check = c }
+
+// CheckConservation audits the device's conservation laws at the end of a
+// run: every issued packet byte was delivered, poisoned or dropped — none
+// lost, none invented — and every leaked link flow-control token is
+// matched by a dropped response on that link. It returns the first
+// violation found, or nil. It requires SetChecker to have been called
+// before traffic; without a checker it reports nothing.
+func (d *Device) CheckConservation(tick uint64) error {
+	if d.check == nil {
+		return nil
+	}
+	if d.chkIssuedB != d.chkDeliveredB+d.chkPoisonedB+d.chkDroppedB {
+		return d.check.Record(invariant.Violatef(invariant.RuleByteConservation, tick,
+			d.conservationSnapshot(),
+			"issued %d B != delivered %d B + poisoned %d B + dropped %d B",
+			d.chkIssuedB, d.chkDeliveredB, d.chkPoisonedB, d.chkDroppedB))
+	}
+	for li := range d.links {
+		l := &d.links[li]
+		leaked := uint64(0)
+		for _, rel := range l.tokens {
+			if rel == NeverTick {
+				leaked++
+			}
+		}
+		dropped := uint64(0)
+		if d.linkFaults != nil {
+			dropped = d.linkFaults[li].Dropped
+		}
+		if len(l.tokens) > 0 && leaked != dropped {
+			return d.check.Record(invariant.Violatef(invariant.RuleLinkTokenLeak, tick,
+				d.conservationSnapshot(),
+				"link %d leaked %d token(s) but recorded %d dropped response(s)",
+				li, leaked, dropped))
+		}
+	}
+	return nil
+}
+
+// conservationSnapshot renders the byte ledger plus the link state.
+func (d *Device) conservationSnapshot() string {
+	return fmt.Sprintf("device{issued=%dB delivered=%dB poisoned=%dB dropped=%dB starved=%d} %s",
+		d.chkIssuedB, d.chkDeliveredB, d.chkPoisonedB, d.chkDroppedB, d.chkStarvedPkts, d.DebugLinks())
+}
 
 // vaultOf maps an address to its vault by low-order block interleaving.
 func (d *Device) vaultOf(addr uint64) int {
@@ -288,6 +350,11 @@ func (d *Device) SubmitPacket(tick uint64, req Request) (Completion, error) {
 			// response was dropped. The request can never start; fail it
 			// loudly instead of modelling an infinite wait.
 			d.stats.TokenStarved++
+			if d.check != nil {
+				d.chkIssuedB += uint64(req.PacketBytes)
+				d.chkDroppedB += uint64(req.PacketBytes)
+				d.chkStarvedPkts++
+			}
 			return Completion{Done: NeverTick, Dropped: true}, nil
 		}
 		if link.tokens[tokenSlot] > arrive {
@@ -317,6 +384,9 @@ func (d *Device) SubmitPacket(tick uint64, req Request) (Completion, error) {
 	}
 	d.sizeHist[req.PacketBytes/FlitBytes]++
 	d.stats.TransferredBytes += reqFlits * FlitBytes
+	if d.check != nil {
+		d.chkIssuedB += uint64(req.PacketBytes)
+	}
 
 	if reqPoisoned {
 		// The request never entered the device intact: no vault sees it.
@@ -324,6 +394,9 @@ func (d *Device) SubmitPacket(tick uint64, req Request) (Completion, error) {
 		// after the failed leg settles.
 		comp.Poisoned = true
 		d.poison(li)
+		if d.check != nil {
+			d.chkPoisonedB += uint64(req.PacketBytes)
+		}
 		outStart := max64(link.in+2*c.TSerDes, link.out)
 		link.out = outStart + c.TFlit
 		comp.Done = link.out + c.TSerDes
@@ -382,6 +455,9 @@ func (d *Device) SubmitPacket(tick uint64, req Request) (Completion, error) {
 		comp.Dropped = true
 		d.stats.DroppedResponses++
 		d.linkFaults[li].Dropped++
+		if d.check != nil {
+			d.chkDroppedB += uint64(req.PacketBytes)
+		}
 		if tokenSlot >= 0 {
 			link.tokens[tokenSlot] = NeverTick
 		}
@@ -410,9 +486,15 @@ func (d *Device) SubmitPacket(tick uint64, req Request) (Completion, error) {
 		// were exhausted on the link, so no useful bytes were delivered.
 		comp.Poisoned = true
 		d.poison(li)
+		if d.check != nil {
+			d.chkPoisonedB += uint64(req.PacketBytes)
+		}
 	} else {
 		d.stats.PacketBytes += uint64(req.PacketBytes)
 		d.stats.RequestedBytes += uint64(req.RequestedBytes)
+		if d.check != nil {
+			d.chkDeliveredB += uint64(req.PacketBytes)
+		}
 	}
 	if comp.Done > d.stats.LastDone {
 		d.stats.LastDone = comp.Done
@@ -532,6 +614,7 @@ func (d *Device) Reset() {
 		d.sizeHist[i] = 0
 	}
 	d.stats = Stats{VaultRequests: make([]uint64, d.cfg.Vaults)}
+	d.chkIssuedB, d.chkDeliveredB, d.chkPoisonedB, d.chkDroppedB, d.chkStarvedPkts = 0, 0, 0, 0, 0
 }
 
 // LinkFaultStats breaks the fault counters down per link.

@@ -1,0 +1,78 @@
+package hmc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// mustEncode builds a frame for the corpus, failing the fuzz setup loudly
+// if the seed request itself is invalid.
+func mustEncode(f *testing.F, req Request) []byte {
+	f.Helper()
+	buf, err := EncodePacket(req)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return buf
+}
+
+// FuzzDecodePacket throws arbitrary bytes at the wire decoder. Frames are
+// external input (trace files, repro artifacts): whatever arrives, the
+// decoder must either return a Request that SubmitPacket would accept and
+// that re-encodes to the identical frame, or reject with ErrBadPacket —
+// never panic.
+func FuzzDecodePacket(f *testing.F) {
+	good := mustEncode(f, Request{Addr: 0x1000, PacketBytes: 64, RequestedBytes: 48})
+	f.Add(good)
+	f.Add(mustEncode(f, Request{Addr: 0x2300, PacketBytes: 256, RequestedBytes: 256, Write: true}))
+	f.Add(mustEncode(f, Request{Addr: (1 << 52) - 16, PacketBytes: 16}))
+
+	// Single-field corruptions of a valid frame.
+	for _, mut := range []struct {
+		off int
+		val byte
+	}{
+		{0, 'X'},   // magic
+		{4, 2},     // version
+		{5, 0x80},  // reserved flag bit
+		{6, 0xFF},  // oversized packet
+		{18, 1},    // reserved byte
+		{21, 0xAA}, // CRC
+		{31, 7},    // padding
+	} {
+		bad := append([]byte(nil), good...)
+		bad[mut.off] = mut.val
+		f.Add(bad)
+	}
+	f.Add(good[:16])                               // truncated
+	f.Add(append(append([]byte(nil), good...), 0)) // one byte long
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, PacketWireBytes))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodePacket(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadPacket) {
+				t.Fatalf("decode error does not wrap ErrBadPacket: %v", err)
+			}
+			return
+		}
+		// An accepted frame must satisfy the device's own submission rules…
+		if req.PacketBytes < MinRequestBytes || req.PacketBytes > MaxRequestBytes ||
+			req.PacketBytes%FlitBytes != 0 || req.RequestedBytes > req.PacketBytes {
+			t.Fatalf("decoder accepted unsubmittable request %+v", req)
+		}
+		if req.Addr/MaxRequestBytes != (req.Addr+uint64(req.PacketBytes)-1)/MaxRequestBytes {
+			t.Fatalf("decoder accepted block-crossing request %+v", req)
+		}
+		// …and round-trip bit-for-bit.
+		out, err := EncodePacket(req)
+		if err != nil {
+			t.Fatalf("re-encode of accepted request %+v: %v", req, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round-trip mismatch:\n in  %x\n out %x", data, out)
+		}
+	})
+}

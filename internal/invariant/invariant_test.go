@@ -1,0 +1,189 @@
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestViolationError(t *testing.T) {
+	v := Violatef(RuleMSHRLeak, 42, "file{free=3}", "%d entries leaked", 5)
+	msg := v.Error()
+	for _, want := range []string{"invariant:", RuleMSHRLeak, "tick 42", "5 entries leaked", "file{free=3}"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+	vNoSnap := Violatef(RuleCRQStuck, 7, "", "stuck")
+	if strings.Contains(vNoSnap.Error(), "state:") {
+		t.Errorf("empty snapshot should omit state section: %q", vNoSnap.Error())
+	}
+}
+
+func TestAs(t *testing.T) {
+	v := Violatef(RuleDoubleCompletion, 1, "", "dup")
+	wrapped := fmt.Errorf("run failed: %w", v)
+	got, ok := As(wrapped)
+	if !ok || got != v {
+		t.Fatalf("As(wrapped) = %v, %v; want original violation", got, ok)
+	}
+	if _, ok := As(errors.New("plain")); ok {
+		t.Fatal("As(plain error) should be false")
+	}
+	if _, ok := As(nil); ok {
+		t.Fatal("As(nil) should be false")
+	}
+}
+
+func TestNilCheckerIsDisabledAndFree(t *testing.T) {
+	var c *Checker
+	if c.Enabled() {
+		t.Fatal("nil checker must report disabled")
+	}
+	// Every method must be callable on nil.
+	c.Record(Violatef(RuleMSHRLeak, 0, "", "x"))
+	if v := c.Violatef(RuleMSHRLeak, 0, "", "x"); v != nil {
+		t.Fatalf("nil.Violatef = %v, want nil", v)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("nil.Err = %v, want nil", err)
+	}
+	if vs := c.Violations(); vs != nil {
+		t.Fatalf("nil.Violations = %v, want nil", vs)
+	}
+	c.Reset()
+}
+
+func TestCheckerErrSingleAndJoined(t *testing.T) {
+	c := New()
+	if !c.Enabled() {
+		t.Fatal("New() checker must be enabled")
+	}
+	if c.Err() != nil {
+		t.Fatal("fresh checker must have nil Err")
+	}
+
+	v1 := c.Violatef(RuleMSHRLeak, 10, "", "first")
+	if err := c.Err(); err != v1 {
+		t.Fatalf("single violation: Err = %v, want the violation itself", err)
+	}
+
+	v2 := c.Violatef(RuleQueueLeak, 11, "", "second")
+	err := c.Err()
+	if err == v1 || err == v2 {
+		t.Fatal("two violations must be joined, not a single violation")
+	}
+	got, ok := As(err)
+	if !ok || got != v1 {
+		t.Fatalf("joined Err: first violation must be primary via errors.As, got %v", got)
+	}
+	if !strings.Contains(err.Error(), "second") {
+		t.Fatalf("joined Err must include later violations: %v", err)
+	}
+	if n := len(c.Violations()); n != 2 {
+		t.Fatalf("Violations() len = %d, want 2", n)
+	}
+
+	c.Reset()
+	if c.Err() != nil || len(c.Violations()) != 0 {
+		t.Fatal("Reset must clear violations")
+	}
+}
+
+func TestCheckerCapsViolations(t *testing.T) {
+	c := New()
+	for i := 0; i < maxViolations+20; i++ {
+		c.Violatef(RuleMSHRLeak, uint64(i), "", "v%d", i)
+	}
+	if n := len(c.Violations()); n != maxViolations {
+		t.Fatalf("Violations len = %d, want cap %d", n, maxViolations)
+	}
+	if c.dropped != 20 {
+		t.Fatalf("dropped = %d, want 20", c.dropped)
+	}
+}
+
+func TestTokenLedgerExactlyOnce(t *testing.T) {
+	l := NewTokenLedger(8)
+	if v := l.Issue(3, 100); v != nil {
+		t.Fatalf("first Issue: %v", v)
+	}
+	if l.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1", l.Outstanding())
+	}
+	// Re-issuing a live slot is a ring overflow.
+	v := l.Issue(3, 101)
+	if v == nil || v.Rule != RuleTokenOverflow {
+		t.Fatalf("re-issue: got %v, want %s violation", v, RuleTokenOverflow)
+	}
+	if v := l.Complete(3, 102); v != nil {
+		t.Fatalf("Complete live slot: %v", v)
+	}
+	// Completing a dead slot is a double completion.
+	v = l.Complete(3, 103)
+	if v == nil || v.Rule != RuleDoubleCompletion {
+		t.Fatalf("double complete: got %v, want %s violation", v, RuleDoubleCompletion)
+	}
+}
+
+func TestTokenLedgerCheckDrained(t *testing.T) {
+	l := NewTokenLedger(4)
+	l.Issue(0, 1)
+	l.Issue(1, 2)
+	l.Complete(0, 3)
+	v := l.CheckDrained(10)
+	if v == nil || v.Rule != RuleTokenConservation {
+		t.Fatalf("drained with live slot: got %v, want %s violation", v, RuleTokenConservation)
+	}
+	if !strings.Contains(v.Error(), "1 token(s) never completed") {
+		t.Fatalf("violation should count leaked tokens: %v", v)
+	}
+	l.Complete(1, 4)
+	if v := l.CheckDrained(11); v != nil {
+		t.Fatalf("fully drained ledger: %v", v)
+	}
+}
+
+func TestNilTokenLedgerIsFree(t *testing.T) {
+	var l *TokenLedger
+	if v := l.Issue(0, 0); v != nil {
+		t.Fatal("nil ledger Issue must be nil")
+	}
+	if v := l.Complete(0, 0); v != nil {
+		t.Fatal("nil ledger Complete must be nil")
+	}
+	if l.Outstanding() != 0 {
+		t.Fatal("nil ledger Outstanding must be 0")
+	}
+	if v := l.CheckDrained(0); v != nil {
+		t.Fatal("nil ledger CheckDrained must be nil")
+	}
+}
+
+// TestTokenLedgerForfeit covers the dropped-response path: a slot whose
+// completion is known to never arrive is written off, re-issuable without
+// a ring-overflow report, and carried by the drain-time conservation law.
+func TestTokenLedgerForfeit(t *testing.T) {
+	l := NewTokenLedger(4)
+	l.Issue(2, 1)
+	l.Forfeit(2)
+	if l.Outstanding() != 0 {
+		t.Fatalf("Outstanding after forfeit = %d, want 0", l.Outstanding())
+	}
+	// The ring may wrap onto the forfeited slot without a violation.
+	if v := l.Issue(2, 5); v != nil {
+		t.Fatalf("re-issue of forfeited slot: %v", v)
+	}
+	l.Complete(2, 6)
+	if v := l.CheckDrained(10); v != nil {
+		t.Fatalf("drained ledger with one forfeit: %v", v)
+	}
+	// Forfeiting a dead slot is a no-op, not double bookkeeping.
+	l.Forfeit(2)
+	if v := l.CheckDrained(11); v != nil {
+		t.Fatalf("forfeit of dead slot changed the books: %v", v)
+	}
+	var nilLedger *TokenLedger
+	nilLedger.Forfeit(0) // nil-safe like every other method
+}

@@ -22,7 +22,9 @@ func BenchmarkInsertComplete(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, e := range out.Issued {
-			f.Complete(e)
+			if _, err := f.Complete(e); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -24,6 +24,9 @@ package mshr
 import (
 	"fmt"
 	"math/bits"
+	"strings"
+
+	"hmccoal/internal/invariant"
 )
 
 // Size-class limits from §3.2.3: with 64 B lines and HMC 2.1 the coalesced
@@ -121,6 +124,7 @@ type File struct {
 	entries []Entry
 	free    int
 	stats   Stats
+	check   *invariant.Checker
 
 	// Scratch buffers reused across Insert calls so the steady state
 	// allocates nothing. keptBuf backs the unmerged-target working set;
@@ -184,6 +188,10 @@ func NewFile(cfg Config) (*File, error) {
 
 // Config returns the file configuration.
 func (f *File) Config() Config { return f.cfg }
+
+// SetChecker attaches a runtime invariant checker. A nil checker (the
+// default) disables continuous checking at zero cost.
+func (f *File) SetChecker(c *invariant.Checker) { f.check = c }
 
 // Free returns the number of unallocated entries.
 func (f *File) Free() int { return f.free }
@@ -295,6 +303,16 @@ func (f *File) Insert(baseLine uint64, lines int, write bool, targets []Target) 
 				return out, nil
 			}
 			e := f.alloc(chunk.base, chunk.len, write)
+			if e == nil {
+				// free > 0 yet no invalid entry exists: the free counter
+				// disagrees with the valid bits. Report the corruption as a
+				// structured violation instead of tearing the process down.
+				f.issuedBuf = out.Issued
+				f.unplacedBuf = out.Unplaced
+				return out, f.check.Record(invariant.Violatef(
+					invariant.RuleMSHRAlloc, 0, f.Snapshot(),
+					"alloc on full file (free counter claims %d free)", f.free))
+			}
 			for _, t := range remaining {
 				if t.Line >= chunk.base && t.Line < chunk.base+uint64(chunk.len) {
 					e.subs = append(e.subs, Sub{LineID: uint8(t.Line - chunk.base), Token: t.Token, Payload: t.Payload})
@@ -336,6 +354,8 @@ func (f *File) lookup(line uint64, write bool) *Entry {
 // or nil. Exposed for the coalescer's bypass path.
 func (f *File) LookupLine(line uint64, write bool) *Entry { return f.lookup(line, write) }
 
+// alloc claims an invalid entry, or returns nil if — despite the free
+// counter — none exists (accounting corruption the caller reports).
 func (f *File) alloc(baseLine uint64, lines int, write bool) *Entry {
 	for i := range f.entries {
 		e := &f.entries[i]
@@ -352,16 +372,19 @@ func (f *File) alloc(baseLine uint64, lines int, write bool) *Entry {
 			return e
 		}
 	}
-	panic("mshr: alloc on full file")
+	return nil
 }
 
 // Complete frees the entry and returns its subentries' tokens so the
 // caller can notify the waiters (Equation 2 reconstructs each address).
 // The returned slice aliases the entry's reusable backing: it is valid
-// only until the entry is allocated again.
-func (f *File) Complete(e *Entry) []Sub {
+// only until the entry is allocated again. Completing an entry that is
+// not live is a double completion and returns a structured violation.
+func (f *File) Complete(e *Entry) ([]Sub, error) {
 	if !e.valid {
-		panic(fmt.Sprintf("mshr: Complete on invalid entry %d", e.index))
+		return nil, f.check.Record(invariant.Violatef(
+			invariant.RuleMSHRComplete, 0, f.Snapshot(),
+			"Complete on invalid entry %d", e.index))
 	}
 	subs := e.subs
 	e.valid = false
@@ -371,7 +394,53 @@ func (f *File) Complete(e *Entry) []Sub {
 	e.payload = 0
 	f.free++
 	f.stats.Completions++
-	return subs
+	return subs, nil
+}
+
+// CheckLeaks audits the end-of-run law: after a Drain every entry must be
+// free and the free counter must agree with the entries' valid bits. It
+// returns nil when the file is clean.
+func (f *File) CheckLeaks(tick uint64) error {
+	live := 0
+	for i := range f.entries {
+		if f.entries[i].valid {
+			live++
+		}
+	}
+	if live != 0 {
+		return f.check.Record(invariant.Violatef(
+			invariant.RuleMSHRLeak, tick, f.Snapshot(),
+			"%d MSHR entr%s still allocated after drain", live, plural(live, "y", "ies")))
+	}
+	if f.free != len(f.entries) {
+		return f.check.Record(invariant.Violatef(
+			invariant.RuleMSHRAccounting, tick, f.Snapshot(),
+			"free counter %d disagrees with %d entries all invalid", f.free, len(f.entries)))
+	}
+	return nil
+}
+
+// Snapshot renders the live entries for violation diagnostics.
+func (f *File) Snapshot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mshr{entries=%d free=%d allocs=%d completions=%d",
+		len(f.entries), f.free, f.stats.Allocations, f.stats.Completions)
+	for i := range f.entries {
+		e := &f.entries[i]
+		if e.valid {
+			fmt.Fprintf(&b, " [%d: line=%d lines=%d write=%v subs=%d]",
+				e.index, e.baseLine, e.lines, e.write, len(e.subs))
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // Entries returns the live view of the file for inspection.

@@ -2,7 +2,10 @@ package mshr
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
+
+	"hmccoal/internal/invariant"
 )
 
 func newFile(t *testing.T) *File {
@@ -323,7 +326,10 @@ func TestCompleteFreesAndReturnsSubs(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := out.Issued[0]
-	subs := f.Complete(e)
+	subs, err := f.Complete(e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(subs) != 2 {
 		t.Fatalf("Complete returned %d subs, want 2", len(subs))
 	}
@@ -342,17 +348,66 @@ func TestCompleteFreesAndReturnsSubs(t *testing.T) {
 	}
 }
 
-func TestCompleteInvalidPanics(t *testing.T) {
+func TestCompleteInvalidViolation(t *testing.T) {
 	f := newFile(t)
 	out, _ := f.Insert(0, 1, false, tgts(0))
 	e := out.Issued[0]
-	f.Complete(e)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double Complete did not panic")
+	if _, err := f.Complete(e); err != nil {
+		t.Fatal(err)
+	}
+	_, err := f.Complete(e)
+	v, ok := invariant.As(err)
+	if !ok {
+		t.Fatalf("double Complete = %v, want invariant violation", err)
+	}
+	if v.Rule != invariant.RuleMSHRComplete {
+		t.Fatalf("violation rule = %q, want %q", v.Rule, invariant.RuleMSHRComplete)
+	}
+	if !strings.Contains(v.Snapshot, "mshr{") {
+		t.Fatalf("violation missing file snapshot: %q", v.Snapshot)
+	}
+}
+
+func TestCheckLeaks(t *testing.T) {
+	f := newFile(t)
+	out, err := f.Insert(0, 2, false, []Target{{Line: 0, Token: 1}, {Line: 1, Token: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.CheckLeaks(99)
+	v, ok := invariant.As(err)
+	if !ok || v.Rule != invariant.RuleMSHRLeak {
+		t.Fatalf("CheckLeaks with live entry = %v, want %s violation", err, invariant.RuleMSHRLeak)
+	}
+	if v.Tick != 99 {
+		t.Fatalf("violation tick = %d, want 99", v.Tick)
+	}
+	for _, e := range out.Issued {
+		if _, err := f.Complete(e); err != nil {
+			t.Fatal(err)
 		}
-	}()
+	}
+	if err := f.CheckLeaks(100); err != nil {
+		t.Fatalf("CheckLeaks on drained file = %v", err)
+	}
+}
+
+// TestCheckerRecordsViolations verifies an attached checker accumulates the
+// violations that File methods return.
+func TestCheckerRecordsViolations(t *testing.T) {
+	f := newFile(t)
+	c := invariant.New()
+	f.SetChecker(c)
+	out, _ := f.Insert(0, 1, false, tgts(0))
+	e := out.Issued[0]
 	f.Complete(e)
+	f.Complete(e) // double completion
+	if err := c.Err(); err == nil {
+		t.Fatal("checker did not record the double completion")
+	}
+	if n := len(c.Violations()); n != 1 {
+		t.Fatalf("checker has %d violations, want 1", n)
+	}
 }
 
 func TestLookupLine(t *testing.T) {
@@ -400,7 +455,11 @@ func TestRandomizedConservation(t *testing.T) {
 		if rng.Intn(3) == 0 && len(live) > 0 {
 			// Complete a random live entry.
 			for idx, e := range live {
-				delivered += len(f.Complete(e))
+				subs, err := f.Complete(e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				delivered += len(subs)
 				delete(live, idx)
 				break
 			}
@@ -429,7 +488,11 @@ func TestRandomizedConservation(t *testing.T) {
 		}
 	}
 	for idx, e := range live {
-		delivered += len(f.Complete(e))
+		subs, err := f.Complete(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered += len(subs)
 		delete(live, idx)
 	}
 	merged := int(f.Stats().MergedTargets)

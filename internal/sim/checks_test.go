@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"hmccoal/internal/invariant"
+	"hmccoal/internal/workloads"
+)
+
+// TestChecksCleanRunIdentical proves the checker's core contract: enabling
+// Config.Checks changes no simulated quantity — every metric of a clean
+// run is identical with checks on and off, and no violation is recorded.
+func TestChecksCleanRunIdentical(t *testing.T) {
+	for _, name := range []string{"HPCG", "FT", "EP"} {
+		accs := genTrace(t, name, 400)
+		for _, mode := range []Mode{Baseline, DMCOnly, TwoPhase} {
+			base := runMode(t, accs, mode)
+
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			cfg.Checks = true
+			s, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked, err := s.Run(accs)
+			if err != nil {
+				t.Fatalf("%s/%v with checks: %v", name, mode, err)
+			}
+			if !reflect.DeepEqual(base, checked) {
+				t.Errorf("%s/%v: results differ with Checks on", name, mode)
+			}
+			if s.Checker() == nil {
+				t.Fatal("Checks=true did not attach a checker")
+			}
+			if violErr := s.Checker().Err(); violErr != nil {
+				t.Errorf("%s/%v: clean run recorded violations: %v", name, mode, violErr)
+			}
+		}
+	}
+}
+
+// TestChecksCleanRunWithFaults runs the checker over a faulty link whose
+// errors all recover through retries and span re-issue: the conservation
+// laws must hold across the whole retry machinery.
+func TestChecksCleanRunWithFaults(t *testing.T) {
+	accs := genTrace(t, "HPCG", 400)
+	for _, ber := range []float64{1e-6, 1e-4} {
+		run := func(checks bool) Result {
+			cfg := DefaultConfig()
+			cfg.HMC.Fault.Seed = 7
+			cfg.HMC.Fault.BER = ber
+			cfg.Checks = checks
+			s, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run(accs)
+			if err != nil {
+				t.Fatalf("ber=%v checks=%v: %v", ber, checks, err)
+			}
+			return res
+		}
+		if !reflect.DeepEqual(run(false), run(true)) {
+			t.Errorf("ber=%v: results differ with Checks on", ber)
+		}
+	}
+}
+
+// TestChecksDetectDoubleCompletion injects the acceptance-criteria bug: a
+// waiter completed twice must surface as a structured double-completion
+// violation, not a panic or silent corruption.
+func TestChecksDetectDoubleCompletion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Checks = true
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := s.newToken(0, 42)
+	if v := s.ledger.Complete(tok, 10); v != nil {
+		t.Fatalf("first completion: %v", v)
+	}
+	v := s.ledger.Complete(tok, 11)
+	if v == nil || v.Rule != invariant.RuleDoubleCompletion {
+		t.Fatalf("double completion: got %v, want %s violation", v, invariant.RuleDoubleCompletion)
+	}
+}
+
+// TestChecksDetectLeakedToken proves the end-of-run ledger audit reports a
+// token that never completed.
+func TestChecksDetectLeakedToken(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Checks = true
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.newToken(3, 7) // issued, never completed
+	v := s.ledger.CheckDrained(100)
+	if v == nil || v.Rule != invariant.RuleTokenConservation {
+		t.Fatalf("leaked token: got %v, want %s violation", v, invariant.RuleTokenConservation)
+	}
+}
+
+// TestChecksWorkloadSweep is the broad empirical guard for the clock
+// monotonicity and drain audits: every benchmark workload must run clean
+// under the checker in the default two-phase configuration.
+func TestChecksWorkloadSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload sweep")
+	}
+	for _, name := range workloads.Names() {
+		accs := genTrace(t, name, 300)
+		cfg := DefaultConfig()
+		cfg.Checks = true
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(accs); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"hmccoal/internal/cache"
 	"hmccoal/internal/coalescer"
 	"hmccoal/internal/hmc"
+	"hmccoal/internal/invariant"
 	"hmccoal/internal/mshr"
 	"hmccoal/internal/trace"
 )
@@ -63,6 +64,12 @@ type Config struct {
 	MaxOutstanding int
 	// Mode selects the miss-handling architecture.
 	Mode Mode
+	// Checks enables the runtime invariant checker across every layer
+	// (token ledger, MSHR leak audit, device byte conservation, clock
+	// monotonicity). Off by default: the checked quantities are identical
+	// either way, so enabling Checks never changes simulation results —
+	// it only spends extra bookkeeping to prove the conservation laws.
+	Checks bool
 }
 
 // DefaultConfig returns the paper's evaluation system: 12 CPUs at 3.3 GHz,
@@ -226,6 +233,16 @@ type System struct {
 	//
 	// The table is open-addressed and keyed by line; see fetchtable.go.
 	fetching fetchTable
+
+	// Invariant-checking state (Config.Checks). check collects violations
+	// across every layer; ledger proves the exactly-once token law; runErr
+	// latches the first violation hit inside a callback so the event loop
+	// can abort at its next poll — one nil compare per iteration. All nil
+	// with checks off except runErr, which the former panic sites also use.
+	check     *invariant.Checker
+	ledger    *invariant.TokenLedger
+	runErr    error
+	lastClock uint64 // latest tick handed to the memory system (monotonicity)
 }
 
 // fetchInfo records who started an outstanding line fill and when.
@@ -278,7 +295,17 @@ func NewSystem(cfg Config) (*System, error) {
 				Write:          e.Write(),
 			})
 			if err != nil {
-				panic(fmt.Sprintf("sim: illegal HMC request from coalescer: %v", err))
+				// The coalescer built a packet the device interface rejects.
+				// Latch the violation for the event loop's next poll and
+				// pretend the packet completed instantly so the bookkeeping
+				// stays conserved until the run aborts.
+				v := invariant.Violatef(invariant.RuleIllegalPacket, tick,
+					d.DebugLinks(), "illegal HMC request from coalescer: %v", err)
+				s.check.Record(v)
+				if s.runErr == nil {
+					s.runErr = v
+				}
+				return coalescer.IssueResult{Done: tick}
 			}
 			return coalescer.IssueResult{
 				Done:    comp.Done,
@@ -293,6 +320,14 @@ func NewSystem(cfg Config) (*System, error) {
 					continue
 				}
 				idx := sub.Token % uint64(len(s.tokenCPU))
+				if s.ledger != nil {
+					if v := s.ledger.Complete(idx, tick); v != nil {
+						s.check.Record(v)
+						if s.runErr == nil {
+							s.runErr = v
+						}
+					}
+				}
 				s.outstanding[s.tokenCPU[idx]]--
 				s.doneTok++
 				if fault {
@@ -319,8 +354,19 @@ func NewSystem(cfg Config) (*System, error) {
 	s.tokenLine = make([]uint64, ring)
 	// Live fetch-table entries are bounded by the demand-miss budget.
 	s.fetching = newFetchTable(cfg.MaxOutstanding * cfg.Hierarchy.CPUs)
+	if cfg.Checks {
+		s.check = invariant.New()
+		s.ledger = invariant.NewTokenLedger(ring)
+		s.coal.SetChecker(s.check)
+		s.device.SetChecker(s.check)
+	}
 	return s, nil
 }
+
+// Checker returns the attached invariant checker, or nil when
+// Config.Checks is off. Callers inspect it for the violations behind a
+// failed run.
+func (s *System) Checker() *invariant.Checker { return s.check }
 
 // Config returns the (mode-resolved) system configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -411,6 +457,15 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 	}
 
 	for len(cursors) > 0 || nParked > 0 {
+		// A callback or the coalescer latched a conservation violation:
+		// further simulation is untrustworthy, abort with the diagnostic.
+		// Both polls are nil compares — free on the clean path.
+		if s.runErr == nil {
+			s.runErr = s.coal.Err()
+		}
+		if s.runErr != nil {
+			return Result{}, fmt.Errorf("sim: %w", s.runErr)
+		}
 		memTick, memOK := s.coal.NextEvent()
 
 		// With no runnable CPU, only memory progress can unpark one.
@@ -424,6 +479,7 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 				}
 				return Result{}, s.deadlockError(isParked, parkedTick, parkedFence)
 			}
+			s.clockAdvance(memTick)
 			s.coal.Advance(memTick)
 			if memTick > last {
 				last = memTick
@@ -435,6 +491,7 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 		cur := cursors[0]
 		if memOK && memTick <= cur.tick {
 			// Memory events due before the next access: deliver them first.
+			s.clockAdvance(memTick)
 			s.coal.Advance(memTick)
 			wake(memTick)
 			continue
@@ -449,6 +506,7 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 			// Fence: flush the coalescer (once); the core parks until its
 			// outstanding demand misses retire.
 			if !fenceSignaled[cpu] {
+				s.clockAdvance(effTick)
 				s.coal.Fence(effTick)
 				fenceSignaled[cpu] = true
 			}
@@ -470,6 +528,7 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 			nParked++
 			continue
 		default:
+			s.clockAdvance(effTick)
 			s.coal.Advance(effTick)
 			_, misses, err := s.hierarchy.Access(trace.Access{
 				Addr: a.Addr, Size: a.Size, Kind: a.Kind, CPU: a.CPU, Tick: effTick,
@@ -560,8 +619,32 @@ func (s *System) Run(accs []trace.Access) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %w; links: %s", err, s.device.DebugLinks())
 	}
+	if s.runErr == nil {
+		s.runErr = s.coal.Err()
+	}
+	if s.runErr != nil {
+		return Result{}, fmt.Errorf("sim: %w", s.runErr)
+	}
 	if s.doneTok != s.pushedTok {
-		return Result{}, fmt.Errorf("sim: token conservation broken: %d pushed, %d completed", s.pushedTok, s.doneTok)
+		v := invariant.Violatef(invariant.RuleTokenConservation, idle, s.coal.DebugState(),
+			"%d token(s) pushed, %d completed", s.pushedTok, s.doneTok)
+		s.check.Record(v)
+		return Result{}, fmt.Errorf("sim: token conservation broken: %w", v)
+	}
+	if s.check != nil {
+		// End-of-run conservation audit: every queue drained, every MSHR
+		// entry free, every issued packet byte accounted for, every token
+		// slot dead. Only reachable with Config.Checks on.
+		if cerr := s.coal.CheckDrained(idle); cerr != nil {
+			return Result{}, fmt.Errorf("sim: %w", cerr)
+		}
+		if cerr := s.device.CheckConservation(idle); cerr != nil {
+			return Result{}, fmt.Errorf("sim: %w", cerr)
+		}
+		if v := s.ledger.CheckDrained(idle); v != nil {
+			s.check.Record(v)
+			return Result{}, fmt.Errorf("sim: %w", v)
+		}
 	}
 
 	res := Result{
@@ -595,7 +678,60 @@ func (s *System) newToken(cpu uint8, line uint64) uint64 {
 	s.tokenLine[tok] = line
 	s.outstanding[cpu]++
 	s.pushedTok++
+	if s.ledger != nil {
+		if v := s.ledger.Issue(tok, s.lastClock); v != nil {
+			// The monotone counter wrapped onto a live slot. If the slot's
+			// holder is waiting on a dropped response, its completion is
+			// unreachable and the slot is safely re-usable: forfeit it in
+			// the ledger and issue cleanly. Only genuine reuse — a slot
+			// whose completion can still arrive — is a violation.
+			if s.forfeitIfDoomed(tok) {
+				v = s.ledger.Issue(tok, s.lastClock)
+			}
+			if v != nil {
+				s.check.Record(v)
+				if s.runErr == nil {
+					s.runErr = v
+				}
+			}
+		}
+	}
 	return tok
+}
+
+// forfeitIfDoomed reports whether ring slot tok belongs to a waiter whose
+// response was dropped, forfeiting the slot in the ledger if so. O(inflight)
+// but only reached when the ledger flags a wrapped slot, which requires a
+// drop to have leaked it first.
+func (s *System) forfeitIfDoomed(tok uint64) bool {
+	doomed := false
+	s.coal.DoomedTokens(func(token uint64) {
+		if token != writeBackToken && token%uint64(len(s.tokenCPU)) == tok {
+			doomed = true
+		}
+	})
+	if doomed {
+		s.ledger.Forfeit(tok)
+	}
+	return doomed
+}
+
+// clockAdvance audits the deterministic-clock monotonicity law (checks on
+// only): ticks handed to the memory system must never decrease. The
+// coalescer silently clamps a backwards tick, so without the checker a
+// scheduling bug would warp results instead of failing.
+func (s *System) clockAdvance(now uint64) {
+	if s.check != nil && now < s.lastClock {
+		v := invariant.Violatef(invariant.RuleClockMonotone, now, s.coal.DebugState(),
+			"memory clock ran backwards: %d after %d", now, s.lastClock)
+		s.check.Record(v)
+		if s.runErr == nil {
+			s.runErr = v
+		}
+	}
+	if now > s.lastClock {
+		s.lastClock = now
+	}
 }
 
 // lowestParked returns the lowest-numbered parked CPU, so deadlock

@@ -6,14 +6,30 @@
 // back in index order regardless of completion order, so a sweep's output
 // is byte-identical whether it ran on one worker or on every core. The
 // engine supports context cancellation, a first-error-wins abort (the
-// first job error cancels the remaining jobs and is the error returned),
-// and an optional serialized progress callback.
+// first job error cancels the remaining jobs and is the primary returned
+// error, with later distinct failures joined behind it), and an optional
+// serialized progress callback.
+//
+// Long campaigns survive three failure classes that would otherwise lose
+// hours of compute: a panicking job is recovered into a PanicError naming
+// the job index (the process and the other workers keep running), a hung
+// job is abandoned after Options.JobTimeout, and Options.Checkpoint
+// persists every completed result to a JSONL file so an interrupted sweep
+// resumes without recomputing — with results restored by index, the
+// resumed output is byte-identical to a cold run at any worker count.
 package sweep
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // Options tunes a sweep.
@@ -23,8 +39,51 @@ type Options struct {
 	Workers int
 	// Progress, when non-nil, is invoked after each job completes with
 	// the number of finished jobs and the grid size. Calls are
-	// serialized; done is strictly increasing from 1 to total.
+	// serialized; done is strictly increasing up to total. On a
+	// checkpoint resume, restored jobs are reported once, up front.
 	Progress func(done, total int)
+	// JobTimeout, when positive, bounds each job's run time. A job still
+	// running at the deadline is abandoned (its goroutine cannot be
+	// killed, but its result is discarded and its context cancelled) and
+	// reported as a JobError wrapping context.DeadlineExceeded.
+	JobTimeout time.Duration
+	// Checkpoint, when non-empty, is a JSONL file persisting completed
+	// results: one {"job":i,"n":n,"result":…} line per finished job,
+	// appended as jobs complete. Starting a sweep with an existing
+	// checkpoint restores those results by index and only runs the
+	// remainder. Lines from a different grid size and truncated trailing
+	// lines (a crash mid-write) are skipped. The result type must be
+	// JSON round-trippable for restored runs to be byte-identical.
+	Checkpoint string
+	// KeepGoing runs every job even after failures instead of cancelling
+	// the sweep at the first error. All distinct errors are aggregated in
+	// the returned error; soak harnesses use this to collect every
+	// violation in a grid rather than just the first.
+	KeepGoing bool
+}
+
+// JobError wraps a job failure with the index of the job that failed.
+type JobError struct {
+	Job int
+	Err error
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("sweep: job %d: %v", e.Job, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// PanicError is a job panic converted into a first-class error: the sweep
+// process survives, the other workers keep draining the grid, and the
+// panic value plus its stack are preserved for the report.
+type PanicError struct {
+	Job   int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: job %d panicked: %v", e.Job, e.Value)
 }
 
 // workers resolves the effective pool size for n jobs.
@@ -42,33 +101,86 @@ func (o Options) workers(n int) int {
 	return w
 }
 
+// checkpointLine is one JSONL record of a completed job.
+type checkpointLine struct {
+	Job int `json:"job"`
+	N   int `json:"n"`
+	// Result is deferred so restore can skip records whose envelope does
+	// not match before paying for the payload.
+	Result json.RawMessage `json:"result"`
+}
+
 // Map runs fn(ctx, i) for every i in [0, n) across the worker pool and
 // returns the results in index order. The first job error (in completion
-// order) cancels the remaining jobs and is returned alongside the partial
-// results; jobs that never ran leave their result slot at the zero value.
-// A cancelled ctx aborts the sweep with ctx's error.
+// order) cancels the remaining jobs — unless Options.KeepGoing — and is
+// the primary returned error; distinct later failures are joined behind
+// it via errors.Join. Jobs that never ran leave their result slot at the
+// zero value. A cancelled ctx aborts the sweep with ctx's error.
+//
+// A job that panics is reported as a *PanicError; a job exceeding
+// Options.JobTimeout as a *JobError wrapping context.DeadlineExceeded.
+// Both name the job index, so a grid failure is replayable in isolation.
 func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	if n == 0 {
 		return results, ctx.Err()
 	}
+
+	restored := make([]bool, n)
+	var ckpt *os.File
+	if opts.Checkpoint != "" {
+		nRestored, err := restoreCheckpoint(opts.Checkpoint, n, results, restored)
+		if err != nil {
+			return results, err
+		}
+		ckpt, err = os.OpenFile(opts.Checkpoint, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return results, fmt.Errorf("sweep: checkpoint: %w", err)
+		}
+		defer ckpt.Close()
+		if opts.Progress != nil && nRestored > 0 {
+			opts.Progress(nRestored, n)
+		}
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
-		mu       sync.Mutex
-		done     int
-		firstErr error
+		mu   sync.Mutex
+		done int
+		errs []error
 	)
-	finish := func(err error) {
+	for _, r := range restored {
+		if r {
+			done++
+		}
+	}
+	// finish serializes per-job completion: error aggregation and abort,
+	// checkpoint append, progress. A context.Canceled after the sweep has
+	// already aborted is the cancellation echoing through the remaining
+	// in-flight jobs, not a distinct failure — it is not recorded.
+	finish := func(i int, err error, record func() error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
+			if len(errs) > 0 && errors.Is(err, context.Canceled) {
+				return
 			}
-			cancel()
+			errs = append(errs, err)
+			if !opts.KeepGoing {
+				cancel()
+			}
 			return
+		}
+		if record != nil {
+			if werr := record(); werr != nil {
+				errs = append(errs, werr)
+				if !opts.KeepGoing {
+					cancel()
+				}
+				return
+			}
 		}
 		done++
 		if opts.Progress != nil {
@@ -86,19 +198,22 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 				if ctx.Err() != nil {
 					return
 				}
-				r, err := fn(ctx, i)
+				r, err := runJob(ctx, i, opts, fn)
 				if err != nil {
-					finish(err)
-					return
+					finish(i, err, nil)
+					continue
 				}
 				results[i] = r
-				finish(nil)
+				finish(i, nil, func() error { return appendCheckpoint(ckpt, i, n, r) })
 			}
 		}()
 	}
 
 feed:
 	for i := 0; i < n; i++ {
+		if restored[i] {
+			continue
+		}
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
@@ -108,8 +223,102 @@ feed:
 	close(jobs)
 	wg.Wait()
 
-	if firstErr != nil {
-		return results, firstErr
+	switch len(errs) {
+	case 0:
+		return results, ctx.Err()
+	case 1:
+		return results, errs[0]
+	default:
+		return results, errors.Join(errs...)
 	}
-	return results, ctx.Err()
+}
+
+// runJob executes one job with panic recovery and the optional timeout.
+// On timeout the job's goroutine is abandoned — only runJob's caller ever
+// writes the result slot, so a late finisher cannot race the sweep.
+func runJob[T any](ctx context.Context, i int, opts Options, fn func(ctx context.Context, i int) (T, error)) (T, error) {
+	call := func(ctx context.Context) (r T, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = &PanicError{Job: i, Value: p, Stack: debug.Stack()}
+			}
+		}()
+		return fn(ctx, i)
+	}
+	if opts.JobTimeout <= 0 {
+		return call(ctx)
+	}
+	tctx, tcancel := context.WithTimeout(ctx, opts.JobTimeout)
+	defer tcancel()
+	type outcome struct {
+		r   T
+		err error
+	}
+	ch := make(chan outcome, 1) // buffered: an abandoned job's send never blocks
+	go func() {
+		r, err := call(tctx)
+		ch <- outcome{r, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.r, o.err
+	case <-tctx.Done():
+		var zero T
+		return zero, &JobError{Job: i, Err: tctx.Err()}
+	}
+}
+
+// restoreCheckpoint loads completed results from a JSONL checkpoint into
+// results/restored and reports how many were restored. A missing file is
+// an empty checkpoint. Records from a different grid size, out-of-range
+// indices, and undecodable lines (typically a truncated trailing line
+// from a crash mid-append) are skipped, not errors.
+func restoreCheckpoint[T any](path string, n int, results []T, restored []bool) (int, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	count := 0
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for {
+		var line checkpointLine
+		if err := dec.Decode(&line); err != nil {
+			break // EOF or a truncated/corrupt tail: keep what decoded
+		}
+		if line.N != n || line.Job < 0 || line.Job >= n || restored[line.Job] {
+			continue
+		}
+		var r T
+		if err := json.Unmarshal(line.Result, &r); err != nil {
+			continue
+		}
+		results[line.Job] = r
+		restored[line.Job] = true
+		count++
+	}
+	return count, nil
+}
+
+// appendCheckpoint writes one completed job to the checkpoint, or does
+// nothing when checkpointing is off.
+func appendCheckpoint[T any](f *os.File, i, n int, r T) error {
+	if f == nil {
+		return nil
+	}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("sweep: checkpoint job %d: %w", i, err)
+	}
+	buf, err := json.Marshal(checkpointLine{Job: i, N: n, Result: raw})
+	if err != nil {
+		return fmt.Errorf("sweep: checkpoint job %d: %w", i, err)
+	}
+	buf = append(buf, '\n')
+	if _, err := f.Write(buf); err != nil {
+		return fmt.Errorf("sweep: checkpoint job %d: %w", i, err)
+	}
+	return nil
 }

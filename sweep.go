@@ -21,10 +21,26 @@ type SweepOptions struct {
 	// completes with the number of finished jobs and the grid size.
 	// Calls are serialized across workers.
 	Progress func(done, total int)
+	// Checks enables the runtime invariant checker in every simulation of
+	// the sweep. Results are identical either way (see sim.Config.Checks);
+	// a violated conservation law surfaces as that job's error instead of
+	// silent corruption.
+	Checks bool
+	// Checkpoint, when non-empty, persists each completed job to a JSONL
+	// file so an interrupted sweep resumes without recomputing (see
+	// sweep.Options.Checkpoint). Use a distinct file per sweep grid.
+	Checkpoint string
 }
 
 func (o SweepOptions) engine() sweep.Options {
-	return sweep.Options{Workers: o.Workers, Progress: o.Progress}
+	return sweep.Options{Workers: o.Workers, Progress: o.Progress, Checkpoint: o.Checkpoint}
+}
+
+// config is DefaultConfig with the sweep-wide toggles applied.
+func (o SweepOptions) config() Config {
+	cfg := DefaultConfig()
+	cfg.Checks = o.Checks
+	return cfg
 }
 
 // traceCell lazily generates one benchmark's trace exactly once and shares
@@ -62,8 +78,8 @@ func runMode(name string, m Mode, cfg Config, accs []Access) (Result, error) {
 
 // benchCell is one (benchmark × job-kind) slot of the RunAll grid.
 type benchCell struct {
-	res Result
-	pay PayloadAnalysis
+	Res Result          `json:"res"`
+	Pay PayloadAnalysis `json:"pay"`
 }
 
 // The RunAll grid runs four independent jobs per benchmark: the three
@@ -89,11 +105,11 @@ func RunAllContext(ctx context.Context, p TraceParams, opt SweepOptions) ([]Benc
 				return benchCell{}, err
 			}
 			if kind == runAllKinds-1 {
-				pay, err := AnalyzePayload(DefaultConfig(), accs)
-				return benchCell{pay: pay}, err
+				pay, err := AnalyzePayload(opt.config(), accs)
+				return benchCell{Pay: pay}, err
 			}
-			res, err := runMode(names[b], runAllModes[kind], DefaultConfig(), accs)
-			return benchCell{res: res}, err
+			res, err := runMode(names[b], runAllModes[kind], opt.config(), accs)
+			return benchCell{Res: res}, err
 		})
 	if err != nil {
 		return nil, err
@@ -102,10 +118,10 @@ func RunAllContext(ctx context.Context, p TraceParams, opt SweepOptions) ([]Benc
 	for b, name := range names {
 		runs[b] = BenchmarkRun{
 			Name:     name,
-			Baseline: cells[b*runAllKinds+0].res,
-			DMCOnly:  cells[b*runAllKinds+1].res,
-			TwoPhase: cells[b*runAllKinds+2].res,
-			Payload:  cells[b*runAllKinds+3].pay,
+			Baseline: cells[b*runAllKinds+0].Res,
+			DMCOnly:  cells[b*runAllKinds+1].Res,
+			TwoPhase: cells[b*runAllKinds+2].Res,
+			Payload:  cells[b*runAllKinds+3].Pay,
 		}
 	}
 	return runs, nil
@@ -123,7 +139,7 @@ func TimeoutSweepContext(ctx context.Context, name string, p TraceParams, timeou
 	}
 	return sweep.Map(ctx, len(timeouts), opt.engine(),
 		func(_ context.Context, i int) (float64, error) {
-			cfg := DefaultConfig()
+			cfg := opt.config()
 			cfg.Coalescer.TimeoutCycles = timeouts[i]
 			res, err := runMode(name, cfg.Mode, cfg, accs)
 			if err != nil {
@@ -149,7 +165,7 @@ func Figure14TableContext(ctx context.Context, p TraceParams, timeouts []uint64,
 			if err != nil {
 				return 0, err
 			}
-			cfg := DefaultConfig()
+			cfg := opt.config()
 			cfg.Coalescer.TimeoutCycles = timeouts[t]
 			res, err := runMode(names[b], cfg.Mode, cfg, accs)
 			if err != nil {
@@ -186,7 +202,7 @@ func MSHRSweepContext(ctx context.Context, name string, p TraceParams, entries [
 	}
 	return sweep.Map(ctx, len(entries), opt.engine(),
 		func(_ context.Context, i int) (float64, error) {
-			cfg := DefaultConfig()
+			cfg := opt.config()
 			cfg.Coalescer.MSHR.Entries = entries[i]
 			res, err := runMode(name, cfg.Mode, cfg, accs)
 			if err != nil {
@@ -244,7 +260,7 @@ func FaultSweepContext(ctx context.Context, name string, p TraceParams, seed uin
 	cells, err := sweep.Map(ctx, len(bers)*nModes, opt.engine(),
 		func(_ context.Context, i int) (Result, error) {
 			b, m := i/nModes, i%nModes
-			cfg := DefaultConfig()
+			cfg := opt.config()
 			cfg.HMC.Fault.Seed = seed
 			cfg.HMC.Fault.BER = bers[b]
 			return runMode(name, runAllModes[m], cfg, accs)
