@@ -9,6 +9,9 @@
 //	hmccoal -fig 10 -bench HPCG      # Figure 10 for a chosen benchmark
 //	hmccoal -fig fault -bench STREAM # fault sweep: efficiency vs link BER
 //	hmccoal -fig all -checks         # same figures, invariant checker on
+//	hmccoal -fig speedup -backend ddr # runtime improvement on another backend
+//	hmccoal -run FT -backend ideal   # one benchmark, one summary
+//	hmccoal -run FT -snapshot-at 1000000 # snapshot/restore mid-run, same summary
 //	hmccoal -list                    # list the benchmarks
 //
 // Exit codes: 0 success, 1 usage/configuration error, 2 simulation or
@@ -34,6 +37,7 @@ import (
 var validFigs = map[string]bool{
 	"all": true, "1": true, "2": true, "8": true, "9": true, "10": true,
 	"11": true, "12": true, "13": true, "14": true, "15": true, "fault": true,
+	"speedup": true,
 }
 
 // Exit codes: flag/config mistakes are the user's to fix (1); a failed or
@@ -66,6 +70,10 @@ func run(argv []string) int {
 		exectrace  = fs.String("exectrace", "", "write a runtime execution trace to this file (-trace is taken by replay)")
 		checks     = fs.Bool("checks", false, "enable the runtime invariant checker in every simulation (results identical; violations become errors)")
 		checkpoint = fs.String("checkpoint", "", "JSONL checkpoint base path: each sweep persists completed jobs to <base>.<sweep> and resumes from it")
+		backend    = fs.String("backend", "hmc", "memory backend behind the coalescer: hmc, ddr or ideal")
+		runBench   = fs.String("run", "", "run one benchmark once (two-phase) and print its summary; combines with -backend, -faults and -snapshot-at")
+		snapshotAt = fs.Uint64("snapshot-at", 0, "with -run: snapshot at this tick, restore into a fresh system, and finish from the snapshot — the summary is byte-identical to the uninterrupted run")
+		faults     = fs.String("faults", "", "with -run: link fault injection (hmc backend only), e.g. seed=1,ber=1e-6[,drop=1e-7][,retries=3]")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -82,6 +90,29 @@ func run(argv []string) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	kind, err := hmccoal.ParseBackend(*backend)
+	if err != nil {
+		return usageErr(err)
+	}
+
+	if *runBench != "" {
+		if err := validBenchmark(*runBench); err != nil {
+			return usageErr(err)
+		}
+		faultCfg, err := hmccoal.ParseFaultFlag(*faults)
+		if err != nil {
+			return usageErr(fmt.Errorf("-faults: %w", err))
+		}
+		if kind != hmccoal.BackendHMC && faultCfg.Enabled() {
+			return usageErr(fmt.Errorf("fault injection is HMC-only; -backend must be hmc, not %v", kind))
+		}
+		p := hmccoal.TraceParams{CPUs: *cpus, OpsPerCPU: *ops, Seed: *seed}
+		if err := runOnce(*runBench, p, kind, faultCfg, *checks, *snapshotAt); err != nil {
+			return runErr(err)
+		}
+		return 0
+	}
 
 	if *replay != "" {
 		accs, err := loadTrace(*replay)
@@ -119,9 +150,12 @@ func run(argv []string) int {
 			return usageErr(err)
 		}
 	}
+	if kind != hmccoal.BackendHMC && need("fault") {
+		return usageErr(fmt.Errorf("the fault sweep injects errors on HMC serial links; -backend must be hmc, not %v", kind))
+	}
 
 	opts := func(tag string) hmccoal.SweepOptions {
-		return sweepOptions(*workers, *checks, *checkpoint, tag)
+		return sweepOptions(*workers, *checks, *checkpoint, tag, kind)
 	}
 
 	if need("1") {
@@ -198,6 +232,17 @@ func run(argv []string) int {
 			fmt.Printf("\n%s", hmccoal.Figure15Chart(runs))
 		}
 	}
+	// The backend-comparison speedup study is explicit-only: "all" keeps
+	// producing exactly the paper's figure set.
+	if want["speedup"] {
+		section(fmt.Sprintf("Speedup — runtime improvement on the %v backend", kind))
+		table, err := hmccoal.SpeedupTableContext(ctx, p, opts("speedup"))
+		fmt.Fprintln(os.Stderr)
+		if err != nil {
+			return runErr(err)
+		}
+		fmt.Print(table)
+	}
 	if need("fault") {
 		section(fmt.Sprintf("Fault sweep — efficiency and speedup vs link error rate (%s)", *bench))
 		rows, err := hmccoal.FaultSweepContext(ctx, *bench, p, uint64(*seed), nil, opts("fault"))
@@ -261,15 +306,94 @@ func replayTrace(accs []trace.Access, cpus int, checks, asJSON bool) error {
 	return nil
 }
 
+// runOnce runs one benchmark once under the two-phase coalescer on the
+// chosen backend and prints its summary. With snapAt > 0 the run is
+// snapshotted at that tick, restored into a fresh system, and finished
+// from the snapshot — stdout is byte-identical to the uninterrupted run
+// (snapshot details go to stderr), which is exactly what the CI
+// determinism check diffs.
+func runOnce(bench string, p hmccoal.TraceParams, kind hmccoal.BackendKind, faultCfg hmccoal.FaultConfig, checks bool, snapAt uint64) error {
+	accs, err := hmccoal.GenerateTrace(bench, p)
+	if err != nil {
+		return err
+	}
+	cfg := hmccoal.DefaultConfig()
+	cfg.Mode = hmccoal.ModeTwoPhase
+	cfg.Backend = kind
+	cfg.Checks = checks
+	cfg.HMC.Fault = faultCfg
+	sys, err := hmccoal.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+
+	var res hmccoal.Result
+	if snapAt == 0 {
+		res, err = sys.Run(accs)
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err = runViaSnapshot(sys, cfg, accs, snapAt)
+		if err != nil {
+			return err
+		}
+	}
+	section(fmt.Sprintf("%s on the %v backend (two-phase)", bench, kind))
+	fmt.Print(res.Summary())
+	return nil
+}
+
+// runViaSnapshot steps sys to snapAt, snapshots it, and finishes the run
+// on a fresh system restored from the snapshot. A run that drains before
+// snapAt finishes normally with a note on stderr.
+func runViaSnapshot(sys *hmccoal.System, cfg hmccoal.Config, accs []hmccoal.Access, snapAt uint64) (hmccoal.Result, error) {
+	if err := sys.Start(accs); err != nil {
+		return hmccoal.Result{}, err
+	}
+	for sys.Tick() < snapAt {
+		done, err := sys.Step()
+		if err != nil {
+			return hmccoal.Result{}, err
+		}
+		if done {
+			fmt.Fprintf(os.Stderr, "hmccoal: run drained before tick %d; finishing without a snapshot\n", snapAt)
+			return sys.Finish()
+		}
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		return hmccoal.Result{}, err
+	}
+	restored, err := hmccoal.NewSystem(cfg)
+	if err != nil {
+		return hmccoal.Result{}, err
+	}
+	if err := restored.Restore(snap); err != nil {
+		return hmccoal.Result{}, err
+	}
+	fmt.Fprintf(os.Stderr, "hmccoal: snapshotted at tick %d, finishing from the restored copy\n", sys.Tick())
+	for {
+		done, err := restored.Step()
+		if err != nil {
+			return hmccoal.Result{}, err
+		}
+		if done {
+			return restored.Finish()
+		}
+	}
+}
+
 // sweepOptions wires the worker count, the invariant-checker toggle and a
 // stderr progress meter into a parallel sweep. Progress goes to stderr
 // only, so stdout stays byte-identical at any worker count. Each sweep
 // grid gets its own checkpoint file (<base>.<tag>) so resumes never mix
 // grids.
-func sweepOptions(workers int, checks bool, checkpoint, tag string) hmccoal.SweepOptions {
+func sweepOptions(workers int, checks bool, checkpoint, tag string, backend hmccoal.BackendKind) hmccoal.SweepOptions {
 	opt := hmccoal.SweepOptions{
 		Workers: workers,
 		Checks:  checks,
+		Backend: backend,
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d simulations", done, total)
 		},

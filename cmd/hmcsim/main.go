@@ -20,11 +20,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strconv"
-	"strings"
 
 	"hmccoal/internal/fault"
 	"hmccoal/internal/hmc"
+	"hmccoal/internal/membackend"
 	"hmccoal/internal/profiling"
 	"hmccoal/internal/sweep"
 )
@@ -49,7 +48,8 @@ func run(argv []string) int {
 		requests  = fs.Int("n", 100000, "number of requests")
 		seed      = fs.Int64("seed", 1, "random seed")
 		workers   = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
-		faults    = fs.String("faults", "", "link fault injection, e.g. seed=1,ber=1e-6[,drop=1e-7][,retries=3]")
+		backend   = fs.String("backend", "hmc", "memory backend: hmc, ddr or ideal")
+		faults    = fs.String("faults", "", "link fault injection (hmc backend only), e.g. seed=1,ber=1e-6[,drop=1e-7][,retries=3]")
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -62,7 +62,11 @@ func run(argv []string) int {
 		return exitUsage
 	}
 
-	faultCfg, err := parseFaults(*faults)
+	faultCfg, err := fault.ParseFlag(*faults)
+	if err != nil {
+		return usageErr(fmt.Errorf("-faults: %w", err))
+	}
+	kind, err := membackend.ParseKind(*backend)
 	if err != nil {
 		return usageErr(err)
 	}
@@ -85,7 +89,7 @@ func run(argv []string) int {
 		rows, err := sweep.Map(context.Background(), len(sizes), sweep.Options{Workers: *workers},
 			func(_ context.Context, i int) (string, error) {
 				sz := sizes[i]
-				dev, err := hmc.NewDevice(hmc.DefaultConfig())
+				dev, err := membackend.New(kind, hmc.DefaultConfig())
 				if err != nil {
 					return "", err
 				}
@@ -107,20 +111,20 @@ func run(argv []string) int {
 				s := dev.Stats()
 				us := float64(last) / 3.3 / 1000
 				gbps := float64(s.PacketBytes) / (us * 1000)
-				return fmt.Sprintf("%7dB %12d %12.1f %14.2f %11.2f%%",
-					sz, s.Requests, us, gbps, 100*s.BandwidthEfficiency()), nil
+				return fmt.Sprintf("%7dB %8s %12d %12.1f %14.2f %11.2f%%",
+					sz, kind, s.Requests, us, gbps, 100*s.BandwidthEfficiency()), nil
 			})
 		if err != nil {
 			return runErr(err)
 		}
-		fmt.Printf("%8s %12s %12s %14s %12s\n", "size", "requests", "time(µs)", "GB/s(payload)", "efficiency")
+		fmt.Printf("%8s %8s %12s %12s %14s %12s\n", "size", "backend", "requests", "time(µs)", "GB/s(payload)", "efficiency")
 		for _, row := range rows {
 			fmt.Println(row)
 		}
 		return 0
 	}
 
-	dev, err := newDevice(faultCfg)
+	dev, err := newBackend(kind, faultCfg)
 	if err != nil {
 		return usageErr(err)
 	}
@@ -161,7 +165,7 @@ func run(argv []string) int {
 	}
 
 	s := dev.Stats()
-	fmt.Printf("pattern %s: %d requests\n", *pattern, s.Requests)
+	fmt.Printf("pattern %s (%s backend): %d requests\n", *pattern, kind, s.Requests)
 	fmt.Printf("  completion           %.1f µs\n", float64(last)/3.3/1000)
 	fmt.Printf("  transferred          %.2f MB (control %.2f MB)\n",
 		float64(s.TransferredBytes)/1e6, float64(s.ControlBytes())/1e6)
@@ -176,48 +180,18 @@ func run(argv []string) int {
 	return 0
 }
 
-// parseFaults decodes the -faults flag: comma-separated key=value pairs.
-// An empty flag disables injection.
-func parseFaults(s string) (fault.Config, error) {
-	var cfg fault.Config
-	if s == "" {
-		return cfg, nil
-	}
-	for _, kv := range strings.Split(s, ",") {
-		key, val, ok := strings.Cut(kv, "=")
-		if !ok {
-			return cfg, fmt.Errorf("-faults: %q is not key=value", kv)
-		}
-		var err error
-		switch key {
-		case "seed":
-			cfg.Seed, err = strconv.ParseUint(val, 0, 64)
-		case "ber":
-			cfg.BER, err = strconv.ParseFloat(val, 64)
-		case "drop":
-			cfg.DropRate, err = strconv.ParseFloat(val, 64)
-		case "retries":
-			cfg.MaxRetries, err = strconv.Atoi(val)
-		default:
-			return cfg, fmt.Errorf("-faults: unknown key %q (want seed, ber, drop, retries)", key)
-		}
-		if err != nil {
-			return cfg, fmt.Errorf("-faults: %s: %w", key, err)
-		}
-	}
-	return cfg, cfg.Validate()
-}
-
-func newDevice(f fault.Config) (*hmc.Device, error) {
+// newBackend builds the selected memory backend; fault injection is
+// rejected by the factory for the link-less ddr/ideal models.
+func newBackend(kind membackend.Kind, f fault.Config) (membackend.Backend, error) {
 	cfg := hmc.DefaultConfig()
 	cfg.Fault = f
-	return hmc.NewDevice(cfg)
+	return membackend.New(kind, cfg)
 }
 
 // submit issues one request and returns its completion tick. A dropped
 // response (fault injection) completes never; callers track the last
 // real tick, so NeverTick is simply ignored by the max.
-func submit(dev *hmc.Device, addr uint64, size uint32) (uint64, error) {
+func submit(dev membackend.Backend, addr uint64, size uint32) (uint64, error) {
 	comp, err := dev.SubmitPacket(0, hmc.Request{Addr: addr, PacketBytes: size, RequestedBytes: size})
 	if err != nil {
 		return 0, err

@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"time"
 
+	"hmccoal/internal/membackend"
 	"hmccoal/internal/soak"
 )
 
@@ -44,6 +45,7 @@ func run(argv []string) int {
 		reproDir = fs.String("repro-dir", "testdata/repros", "directory for shrunken repro files ('' disables)")
 		budget   = fs.Int("shrink-budget", soak.DefaultShrinkBudget, "max re-runs the shrinker may spend per failure")
 		replay   = fs.String("replay", "", "replay a repro JSON file instead of soaking")
+		backend  = fs.String("backend", "hmc", "memory backend to soak: hmc, ddr or ideal")
 		verbose  = fs.Bool("v", false, "print per-scenario progress")
 	)
 	if err := fs.Parse(argv); err != nil {
@@ -65,9 +67,16 @@ func run(argv []string) int {
 		return exitUsage
 	}
 
+	kind, err := membackend.ParseKind(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmcsoak:", err)
+		return exitUsage
+	}
+
 	opts := soak.Options{
 		Seed: *seed, Runs: *runs, Workers: *workers,
 		JobTimeout: *timeout, ReproDir: *reproDir, ShrinkBudget: *budget,
+		Backend: kind,
 	}
 	if *verbose {
 		opts.Progress = func(done, total int) {

@@ -7,9 +7,14 @@
 //	rvsim prog.s                   # run, print registers
 //	rvsim -trace out.trace prog.s  # also capture the memory trace
 //	rvsim -kernel vecadd -n 1024   # run a built-in kernel
+//
+// Exit codes: 0 success, 1 usage/configuration error (bad flags, missing
+// or unassemblable source), 2 run failure (emulator fault, trace write
+// error).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,16 +23,33 @@ import (
 	"hmccoal/internal/trace"
 )
 
+// Exit codes: flag/program mistakes are the user's to fix (1); a failed
+// emulation or trace capture is the run's fault (2).
+const (
+	exitUsage = 1
+	exitRun   = 2
+)
+
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("rvsim", flag.ContinueOnError)
 	var (
-		tracePath = flag.String("trace", "", "write the memory trace to this file (binary format)")
-		kernel    = flag.String("kernel", "", "built-in kernel instead of a source file: vecadd, vecadd8, gather, reduce")
-		n         = flag.Int("n", 1024, "elements for built-in kernels")
-		maxSteps  = flag.Int("max-steps", 1<<26, "instruction budget")
-		cpi       = flag.Uint64("cpi", 1, "cycles charged per instruction in trace timestamps")
-		dump      = flag.Bool("dump", false, "print the disassembled program before running")
+		tracePath = fs.String("trace", "", "write the memory trace to this file (binary format)")
+		kernel    = fs.String("kernel", "", "built-in kernel instead of a source file: vecadd, vecadd8, gather, reduce")
+		n         = fs.Int("n", 1024, "elements for built-in kernels")
+		maxSteps  = fs.Int("max-steps", 1<<26, "instruction budget")
+		cpi       = fs.Uint64("cpi", 1, "cycles charged per instruction in trace timestamps")
+		dump      = fs.Bool("dump", false, "print the disassembled program before running")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return exitUsage
+	}
 
 	var src string
 	switch *kernel {
@@ -40,21 +62,21 @@ func main() {
 	case "reduce":
 		src = riscv.ReduceProgram(*n)
 	case "":
-		if flag.NArg() != 1 {
-			fatal(fmt.Errorf("need an assembly file or -kernel"))
+		if fs.NArg() != 1 {
+			return usageErr(fmt.Errorf("need an assembly file or -kernel"))
 		}
-		data, err := os.ReadFile(flag.Arg(0))
+		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			return usageErr(err)
 		}
 		src = string(data)
 	default:
-		fatal(fmt.Errorf("unknown kernel %q", *kernel))
+		return usageErr(fmt.Errorf("unknown kernel %q", *kernel))
 	}
 
 	prog, err := riscv.Assemble(src)
 	if err != nil {
-		fatal(err)
+		return usageErr(err)
 	}
 	if *dump {
 		fmt.Print(riscv.DisassembleAll(prog, 0x1000))
@@ -62,18 +84,23 @@ func main() {
 	cpu := riscv.NewCPU()
 	cpu.InstrTicks = *cpi
 
-	var tw *trace.Writer
+	// The tracer callback cannot abort the emulator, so the first write
+	// failure is latched here and reported after the run.
+	var (
+		tf       *os.File
+		tw       *trace.Writer
+		traceErr error
+	)
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
+		tf, err = os.Create(*tracePath)
 		if err != nil {
-			fatal(err)
+			return usageErr(err)
 		}
-		defer f.Close()
-		tw = trace.NewWriter(f)
-		defer tw.Flush()
+		defer tf.Close()
+		tw = trace.NewWriter(tf)
 		cpu.SetTracer(func(a trace.Access) {
-			if err := tw.Write(a); err != nil {
-				fatal(err)
+			if traceErr == nil {
+				traceErr = tw.Write(a)
 			}
 		})
 	}
@@ -94,8 +121,20 @@ func main() {
 	cpu.LoadProgram(0x1000, prog)
 	steps, err := cpu.Run(*maxSteps)
 	if err != nil {
-		fatal(err)
+		return runErr(err)
 	}
+	if traceErr != nil {
+		return runErr(fmt.Errorf("writing %s: %w", *tracePath, traceErr))
+	}
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			return runErr(fmt.Errorf("writing %s: %w", *tracePath, err))
+		}
+		if err := tf.Close(); err != nil {
+			return runErr(fmt.Errorf("closing %s: %w", *tracePath, err))
+		}
+	}
+
 	fmt.Printf("retired %d instructions over %d cycles\n", steps, cpu.Cycle)
 	for i := 10; i <= 17; i++ { // a0-a7
 		fmt.Printf("  a%d = %#x\n", i-10, cpu.X[i])
@@ -103,9 +142,17 @@ func main() {
 	if tw != nil {
 		fmt.Printf("traced %d memory events to %s\n", tw.Count(), *tracePath)
 	}
+	return 0
 }
 
-func fatal(err error) {
+// usageErr reports a configuration mistake (exit 1); runErr reports a
+// failed emulation or trace capture (exit 2).
+func usageErr(err error) int {
 	fmt.Fprintln(os.Stderr, "rvsim:", err)
-	os.Exit(1)
+	return exitUsage
+}
+
+func runErr(err error) int {
+	fmt.Fprintln(os.Stderr, "rvsim:", err)
+	return exitRun
 }

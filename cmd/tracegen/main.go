@@ -5,9 +5,14 @@
 //
 //	tracegen -bench FT -ops 10000 -o ft.trace
 //	tracegen -bench HPCG -format text -o hpcg.txt
+//
+// Exit codes: 0 success, 1 usage/configuration error (unknown benchmark
+// or format, unwritable path), 2 run failure (trace generation or write
+// error).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -16,32 +21,52 @@ import (
 	"hmccoal/internal/trace"
 )
 
+// Exit codes: flag/config mistakes are the user's to fix (1); a failed
+// generation or write is the run's fault (2).
+const (
+	exitUsage = 1
+	exitRun   = 2
+)
+
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	var (
-		bench  = flag.String("bench", "FT", "benchmark to generate (see -list)")
-		ops    = flag.Int("ops", 10000, "approximate memory operations per CPU")
-		cpus   = flag.Int("cpus", 12, "number of CPUs")
-		seed   = flag.Int64("seed", 1, "random seed")
-		think  = flag.Float64("think", 1.0, "compute think-time multiplier (lower = more memory-bound)")
-		out    = flag.String("o", "", "output file (default: <bench>.trace)")
-		format = flag.String("format", "binary", "output format: binary or text")
-		list   = flag.Bool("list", false, "list benchmarks and exit")
+		bench  = fs.String("bench", "FT", "benchmark to generate (see -list)")
+		ops    = fs.Int("ops", 10000, "approximate memory operations per CPU")
+		cpus   = fs.Int("cpus", 12, "number of CPUs")
+		seed   = fs.Int64("seed", 1, "random seed")
+		think  = fs.Float64("think", 1.0, "compute think-time multiplier (lower = more memory-bound)")
+		out    = fs.String("o", "", "output file (default: <bench>.trace)")
+		format = fs.String("format", "binary", "output format: binary or text")
+		list   = fs.Bool("list", false, "list benchmarks and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return exitUsage
+	}
 
 	if *list {
 		for _, name := range hmccoal.Benchmarks() {
 			desc, _ := hmccoal.DescribeBenchmark(name)
 			fmt.Printf("%-9s %s\n", name, desc)
 		}
-		return
+		return 0
+	}
+	if *format != "binary" && *format != "text" {
+		return usageErr(fmt.Errorf("unknown format %q (want binary or text)", *format))
 	}
 
 	accs, err := hmccoal.GenerateTrace(*bench, hmccoal.TraceParams{
 		CPUs: *cpus, OpsPerCPU: *ops, Seed: *seed, ThinkScale: *think,
 	})
 	if err != nil {
-		fatal(err)
+		return usageErr(err)
 	}
 
 	path := *out
@@ -50,7 +75,7 @@ func main() {
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return usageErr(err)
 	}
 	defer f.Close()
 
@@ -58,23 +83,32 @@ func main() {
 	case "binary":
 		w := trace.NewWriter(f)
 		if err := w.WriteAll(accs); err != nil {
-			fatal(err)
+			return runErr(err)
 		}
 		if err := w.Flush(); err != nil {
-			fatal(err)
+			return runErr(err)
 		}
 	case "text":
 		if err := trace.WriteText(f, accs); err != nil {
-			fatal(err)
+			return runErr(err)
 		}
-	default:
-		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	if err := f.Close(); err != nil {
+		return runErr(fmt.Errorf("closing %s: %w", path, err))
 	}
 	fmt.Println(trace.Summarize(accs))
 	fmt.Printf("wrote %d accesses to %s (%s)\n", len(accs), path, *format)
+	return 0
 }
 
-func fatal(err error) {
+// usageErr reports a configuration mistake (exit 1); runErr reports a
+// failed generation or write (exit 2).
+func usageErr(err error) int {
 	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+	return exitUsage
+}
+
+func runErr(err error) int {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	return exitRun
 }

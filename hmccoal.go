@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"hmccoal/internal/fault"
+	"hmccoal/internal/membackend"
 	"hmccoal/internal/sim"
 	"hmccoal/internal/trace"
 	"hmccoal/internal/workloads"
@@ -57,6 +58,15 @@ type (
 	// (Config.HMC.Fault): seeded bit error rate, drop rate and retry
 	// budget. The zero value disables injection entirely.
 	FaultConfig = fault.Config
+	// BackendKind selects the memory device behind the coalescer
+	// (Config.Backend): the HMC model, a DDR-like single-channel baseline,
+	// or an ideal zero-contention device. The zero value is the HMC.
+	BackendKind = membackend.Kind
+	// SystemSnapshot is a deterministic mid-run snapshot of a System
+	// (System.Snapshot / System.Restore): restoring it into a fresh system
+	// built from the same Config and stepping to completion reproduces the
+	// uninterrupted run byte-for-byte.
+	SystemSnapshot = sim.Snapshot
 )
 
 // Miss-handling architectures under evaluation.
@@ -69,6 +79,27 @@ const (
 	// ModeTwoPhase is the full memory coalescer.
 	ModeTwoPhase = sim.TwoPhase
 )
+
+// Memory backends selectable via Config.Backend.
+const (
+	// BackendHMC is the full HMC 2.1 device model (the default).
+	BackendHMC = membackend.KindHMC
+	// BackendDDR is the DDR-like single-channel banked baseline.
+	BackendDDR = membackend.KindDDR
+	// BackendIdeal is the zero-contention ideal memory.
+	BackendIdeal = membackend.KindIdeal
+)
+
+// ParseBackend resolves a backend name ("hmc", "ddr", "ideal"; "" is the
+// HMC default) for CLI flags.
+func ParseBackend(s string) (BackendKind, error) { return membackend.ParseKind(s) }
+
+// Backends lists the selectable backend names.
+func Backends() []string { return membackend.Kinds() }
+
+// ParseFaultFlag decodes the shared -faults CLI syntax ("seed=1,ber=1e-6,
+// drop=1e-7,retries=3"); an empty string disables injection.
+func ParseFaultFlag(s string) (FaultConfig, error) { return fault.ParseFlag(s) }
 
 // DefaultConfig returns the paper's evaluation system: 12 CPUs at 3.3 GHz,
 // 16 LLC MSHRs, sequence width 16, 8 GB HMC with 256 B blocks.

@@ -1,0 +1,210 @@
+package coalescer
+
+import (
+	"fmt"
+
+	"hmccoal/internal/mshr"
+)
+
+// packetState is one captured CRQ or retry-queue packet. Targets are
+// deep-copied; the target-slice pool is working storage and not captured.
+type packetState struct {
+	baseLine uint64
+	lines    int
+	write    bool
+	targets  []mshr.Target
+	ready    uint64
+	blocked  bool
+	attempt  int
+	seq      uint64
+}
+
+// completionState is one captured in-flight completion. The MSHR entry
+// pointer is stored as its stable index and re-pointed on restore.
+type completionState struct {
+	tick       uint64
+	entryIndex int
+	issuedAt   uint64
+	fault      bool
+	attempt    int
+}
+
+// State is an opaque deep copy of the coalescer's mutable state: the
+// pending input buffer, the CRQ (linearized to FIFO order), the in-flight
+// and retry heaps (verbatim array order, so tie-breaking after a restore
+// matches the uninterrupted run exactly), the MSHR file, the bypass and
+// degraded-mode machinery and every statistic.
+type State struct {
+	pending      []pendingReq
+	pendingSince uint64
+	sortFree     uint64
+	curTimeout   uint64
+
+	crq      []packetState // FIFO order, head first
+	inflight []completionState
+	retryQ   []packetState
+
+	freedAt     uint64
+	lastIssue   uint64
+	lastAdvance uint64
+	bypassOn    bool
+	idleSince   uint64
+	fillStart   uint64
+	fillCount   int
+	stats       Stats
+
+	retrySeq   uint64
+	faultWin   []bool
+	faultPos   int
+	faultCnt   int
+	degraded   bool
+	degradedAt uint64
+
+	file *mshr.FileState
+}
+
+func savePacket(p *packet) packetState {
+	return packetState{
+		baseLine: p.baseLine,
+		lines:    p.lines,
+		write:    p.write,
+		targets:  append([]mshr.Target(nil), p.targets...),
+		ready:    p.ready,
+		blocked:  p.blocked,
+		attempt:  p.attempt,
+		seq:      p.seq,
+	}
+}
+
+func restorePacket(st *packetState) packet {
+	return packet{
+		baseLine: st.baseLine,
+		lines:    st.lines,
+		write:    st.write,
+		targets:  append([]mshr.Target(nil), st.targets...),
+		ready:    st.ready,
+		blocked:  st.blocked,
+		attempt:  st.attempt,
+		seq:      st.seq,
+	}
+}
+
+// SaveState deep-copies the coalescer's mutable state. It refuses to
+// snapshot a coalescer that has latched a conservation violation — the
+// state is untrustworthy by definition.
+func (c *Coalescer) SaveState() (*State, error) {
+	if c.viol != nil {
+		return nil, fmt.Errorf("coalescer: cannot snapshot after violation: %w", c.viol)
+	}
+	st := &State{
+		pending:      append([]pendingReq(nil), c.pending...),
+		pendingSince: c.pendingSince,
+		sortFree:     c.sortFree,
+		curTimeout:   c.curTimeout,
+		freedAt:      c.freedAt,
+		lastIssue:    c.lastIssue,
+		lastAdvance:  c.lastAdvance,
+		bypassOn:     c.bypassOn,
+		idleSince:    c.idleSince,
+		fillStart:    c.fillStart,
+		fillCount:    c.fillCount,
+		stats:        c.stats,
+		retrySeq:     c.retrySeq,
+		faultPos:     c.faultPos,
+		faultCnt:     c.faultCnt,
+		degraded:     c.degraded,
+		degradedAt:   c.degradedAt,
+		file:         c.file.SaveState(),
+	}
+	st.crq = make([]packetState, c.crqLen)
+	for i := 0; i < c.crqLen; i++ {
+		st.crq[i] = savePacket(&c.crqBuf[(c.crqHead+i)&(len(c.crqBuf)-1)])
+	}
+	st.inflight = make([]completionState, len(c.inflight))
+	for i := range c.inflight {
+		st.inflight[i] = completionState{
+			tick:       c.inflight[i].tick,
+			entryIndex: c.inflight[i].entry.Index(),
+			issuedAt:   c.inflight[i].issuedAt,
+			fault:      c.inflight[i].fault,
+			attempt:    c.inflight[i].attempt,
+		}
+	}
+	st.retryQ = make([]packetState, len(c.retryQ))
+	for i := range c.retryQ {
+		st.retryQ[i] = savePacket(&c.retryQ[i])
+	}
+	if c.faultWin != nil {
+		st.faultWin = append([]bool(nil), c.faultWin...)
+	}
+	return st, nil
+}
+
+// RestoreState replays a snapshot into the coalescer, which must have been
+// built from the same configuration (and callbacks bound to the restored
+// system). The CRQ is re-laid-out from index 0 — FIFO content, not ring
+// phase, is the state — while both heaps are restored in verbatim array
+// order so future pops break ties exactly as the snapshotted run would.
+func (c *Coalescer) RestoreState(st *State) error {
+	if c.viol != nil {
+		return fmt.Errorf("coalescer: cannot restore after violation: %w", c.viol)
+	}
+	if err := c.file.RestoreState(st.file); err != nil {
+		return err
+	}
+	c.pending = append(c.pending[:0], st.pending...)
+	c.pendingSince = st.pendingSince
+	c.sortFree = st.sortFree
+	c.curTimeout = st.curTimeout
+	need := len(c.crqBuf)
+	if need == 0 && len(st.crq) > 0 {
+		need = 16 // matches crqPush's initial allocation
+	}
+	for need < len(st.crq) {
+		need *= 2
+	}
+	if need != len(c.crqBuf) {
+		c.crqBuf = make([]packet, need)
+	}
+	for i := range c.crqBuf {
+		c.crqBuf[i] = packet{}
+	}
+	for i := range st.crq {
+		c.crqBuf[i] = restorePacket(&st.crq[i])
+	}
+	c.crqHead = 0
+	c.crqLen = len(st.crq)
+	c.inflight = c.inflight[:0]
+	for i := range st.inflight {
+		c.inflight = append(c.inflight, completion{
+			tick:     st.inflight[i].tick,
+			entry:    c.file.EntryAt(st.inflight[i].entryIndex),
+			issuedAt: st.inflight[i].issuedAt,
+			fault:    st.inflight[i].fault,
+			attempt:  st.inflight[i].attempt,
+		})
+	}
+	c.retryQ = c.retryQ[:0]
+	for i := range st.retryQ {
+		c.retryQ = append(c.retryQ, restorePacket(&st.retryQ[i]))
+	}
+	c.freedAt = st.freedAt
+	c.lastIssue = st.lastIssue
+	c.lastAdvance = st.lastAdvance
+	c.bypassOn = st.bypassOn
+	c.idleSince = st.idleSince
+	c.fillStart = st.fillStart
+	c.fillCount = st.fillCount
+	c.stats = st.stats
+	c.retrySeq = st.retrySeq
+	if st.faultWin != nil {
+		c.faultWin = append([]bool(nil), st.faultWin...)
+	} else {
+		c.faultWin = nil
+	}
+	c.faultPos = st.faultPos
+	c.faultCnt = st.faultCnt
+	c.degraded = st.degraded
+	c.degradedAt = st.degradedAt
+	return nil
+}

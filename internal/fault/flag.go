@@ -1,0 +1,41 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseFlag decodes the shared -faults CLI syntax: comma-separated
+// key=value pairs, e.g. "seed=1,ber=1e-6,drop=1e-7,retries=3". An empty
+// string yields the zero Config (injection disabled). The result is
+// validated before it is returned.
+func ParseFlag(s string) (Config, error) {
+	var cfg Config
+	if s == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cfg, fmt.Errorf("fault: %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(val, 0, 64)
+		case "ber":
+			cfg.BER, err = strconv.ParseFloat(val, 64)
+		case "drop":
+			cfg.DropRate, err = strconv.ParseFloat(val, 64)
+		case "retries":
+			cfg.MaxRetries, err = strconv.Atoi(val)
+		default:
+			return cfg, fmt.Errorf("fault: unknown key %q (want seed, ber, drop, retries)", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("fault: %s: %w", key, err)
+		}
+	}
+	return cfg, cfg.Validate()
+}

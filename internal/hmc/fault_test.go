@@ -1,6 +1,7 @@
 package hmc
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -224,5 +225,54 @@ func TestValidateRejectsBadFaultConfig(t *testing.T) {
 	cfg.Fault.DropRate = -0.5
 	if err := cfg.Validate(); err == nil {
 		t.Fatal("Validate accepted a negative drop rate")
+	}
+}
+
+// TestResetAfterFaultsMatchesFresh is the reset-after-faults round trip: a
+// device that has taken fault-injected traffic (retries, retrains, poison,
+// drops, retry-buffer churn) must, after Reset, be indistinguishable from a
+// freshly built device — identical Stats, identical link debug state, and
+// an identical fault sequence on replay (the packet serial that keys the
+// injector restarts from zero).
+func TestResetAfterFaultsMatchesFresh(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fault = fault.Config{Seed: 9, BER: 1e-4, DropRate: 1e-4, MaxRetries: 2}
+	used, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := submitN(t, used, 3000)
+	var faulty bool
+	for _, c := range pre {
+		if c.Retries > 0 || c.Poisoned || c.Dropped {
+			faulty = true
+		}
+	}
+	if !faulty {
+		t.Fatal("fault profile injected nothing; raise the rates")
+	}
+
+	used.Reset()
+	fresh, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := used.Stats(), fresh.Stats(); !reflect.DeepEqual(got, want) {
+		t.Errorf("reset device stats differ from fresh:\n%+v\nvs\n%+v", got, want)
+	}
+	if got, want := used.DebugLinks(), fresh.DebugLinks(); got != want {
+		t.Errorf("reset link state differs from fresh:\n%s\nvs\n%s", got, want)
+	}
+
+	// Replay: the reset device must produce the exact fault sequence of the
+	// fresh one — completion ticks, retries, poison and drops included.
+	a, b := submitN(t, used, 3000), submitN(t, fresh, 3000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("completion %d diverges after reset: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if got, want := used.Stats(), fresh.Stats(); !reflect.DeepEqual(got, want) {
+		t.Errorf("post-replay stats diverge:\n%+v\nvs\n%+v", got, want)
 	}
 }

@@ -1,0 +1,110 @@
+package hmc
+
+import "fmt"
+
+// DeviceState is an opaque deep copy of a Device's mutable state: bank and
+// link horizons, flow-control tokens, the packet serial counter that keys
+// fault injection, and every statistics counter. Snapshot produces one and
+// Restore replays it into a device of identical geometry, after which the
+// device behaves byte-identically to the one that was snapshotted — the
+// fault injector is stateless, so restoring the serial counter restores the
+// exact fault sequence too.
+type DeviceState struct {
+	banks    []bankState
+	links    []duplexState
+	next     int
+	sizeHist []uint64
+	stats    Stats
+	serial   uint64
+
+	consecErr  []int
+	linkFaults []LinkFaultStats
+
+	chkIssuedB     uint64
+	chkDeliveredB  uint64
+	chkPoisonedB   uint64
+	chkDroppedB    uint64
+	chkStarvedPkts uint64
+}
+
+// duplexState is one link's captured horizon and token-release times.
+type duplexState struct {
+	in, out uint64
+	tokens  []uint64
+}
+
+// Snapshot deep-copies the device's mutable state. The device may keep
+// running afterwards; the snapshot never aliases live storage.
+func (d *Device) Snapshot() *DeviceState {
+	st := &DeviceState{
+		banks:          append([]bankState(nil), d.banks...),
+		next:           d.next,
+		sizeHist:       append([]uint64(nil), d.sizeHist...),
+		stats:          d.stats,
+		serial:         d.serial,
+		chkIssuedB:     d.chkIssuedB,
+		chkDeliveredB:  d.chkDeliveredB,
+		chkPoisonedB:   d.chkPoisonedB,
+		chkDroppedB:    d.chkDroppedB,
+		chkStarvedPkts: d.chkStarvedPkts,
+	}
+	st.stats.VaultRequests = append([]uint64(nil), d.stats.VaultRequests...)
+	st.links = make([]duplexState, len(d.links))
+	for i := range d.links {
+		st.links[i] = duplexState{
+			in:     d.links[i].in,
+			out:    d.links[i].out,
+			tokens: append([]uint64(nil), d.links[i].tokens...),
+		}
+	}
+	if d.consecErr != nil {
+		st.consecErr = append([]int(nil), d.consecErr...)
+	}
+	if d.linkFaults != nil {
+		st.linkFaults = append([]LinkFaultStats(nil), d.linkFaults...)
+	}
+	return st
+}
+
+// Restore replays a snapshot into the device. The device must have been
+// built from the same configuration (geometry, link count, fault setup) as
+// the one that produced the snapshot; a mismatch is reported, not patched.
+func (d *Device) Restore(st *DeviceState) error {
+	switch {
+	case len(st.banks) != len(d.banks):
+		return fmt.Errorf("hmc: snapshot has %d banks, device %d", len(st.banks), len(d.banks))
+	case len(st.links) != len(d.links):
+		return fmt.Errorf("hmc: snapshot has %d links, device %d", len(st.links), len(d.links))
+	case len(st.sizeHist) != len(d.sizeHist):
+		return fmt.Errorf("hmc: snapshot block size differs (%d vs %d histogram buckets)", len(st.sizeHist), len(d.sizeHist))
+	case (st.consecErr != nil) != (d.consecErr != nil):
+		return fmt.Errorf("hmc: snapshot and device disagree on fault injection")
+	}
+	for i := range st.links {
+		if len(st.links[i].tokens) != len(d.links[i].tokens) {
+			return fmt.Errorf("hmc: snapshot link %d has %d tokens, device %d",
+				i, len(st.links[i].tokens), len(d.links[i].tokens))
+		}
+	}
+	copy(d.banks, st.banks)
+	for i := range st.links {
+		d.links[i].in = st.links[i].in
+		d.links[i].out = st.links[i].out
+		copy(d.links[i].tokens, st.links[i].tokens)
+	}
+	d.next = st.next
+	copy(d.sizeHist, st.sizeHist)
+	vaults := d.stats.VaultRequests
+	d.stats = st.stats
+	d.stats.VaultRequests = vaults
+	copy(d.stats.VaultRequests, st.stats.VaultRequests)
+	d.serial = st.serial
+	copy(d.consecErr, st.consecErr)
+	copy(d.linkFaults, st.linkFaults)
+	d.chkIssuedB = st.chkIssuedB
+	d.chkDeliveredB = st.chkDeliveredB
+	d.chkPoisonedB = st.chkPoisonedB
+	d.chkDroppedB = st.chkDroppedB
+	d.chkStarvedPkts = st.chkStarvedPkts
+	return nil
+}

@@ -1,0 +1,45 @@
+package invariant
+
+import "fmt"
+
+// TokenLedgerState is an opaque deep copy of a TokenLedger.
+type TokenLedgerState struct {
+	live      []bool
+	issued    uint64
+	completed uint64
+	forfeited uint64
+}
+
+// SaveState deep-copies the ledger. Nil-safe like every ledger method: a
+// nil ledger saves as nil, so checks-off systems snapshot uniformly.
+func (l *TokenLedger) SaveState() *TokenLedgerState {
+	if l == nil {
+		return nil
+	}
+	return &TokenLedgerState{
+		live:      append([]bool(nil), l.live...),
+		issued:    l.issued,
+		completed: l.completed,
+		forfeited: l.forfeited,
+	}
+}
+
+// RestoreState replays a snapshot into the ledger. A nil state restores
+// only into a nil ledger and vice versa — the snapshot and the system must
+// agree on whether checking was enabled.
+func (l *TokenLedger) RestoreState(st *TokenLedgerState) error {
+	if (l == nil) != (st == nil) {
+		return fmt.Errorf("invariant: snapshot and ledger disagree on checking")
+	}
+	if l == nil {
+		return nil
+	}
+	if len(st.live) != len(l.live) {
+		return fmt.Errorf("invariant: snapshot ring size %d, ledger %d", len(st.live), len(l.live))
+	}
+	copy(l.live, st.live)
+	l.issued = st.issued
+	l.completed = st.completed
+	l.forfeited = st.forfeited
+	return nil
+}

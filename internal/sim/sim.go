@@ -19,6 +19,7 @@ import (
 	"hmccoal/internal/coalescer"
 	"hmccoal/internal/hmc"
 	"hmccoal/internal/invariant"
+	"hmccoal/internal/membackend"
 	"hmccoal/internal/mshr"
 	"hmccoal/internal/trace"
 )
@@ -64,6 +65,12 @@ type Config struct {
 	MaxOutstanding int
 	// Mode selects the miss-handling architecture.
 	Mode Mode
+	// Backend selects the memory device under the coalescer: the HMC
+	// model (the zero value, so existing configurations are unchanged), a
+	// DDR-like single-channel baseline, or an ideal zero-contention
+	// device. The HMC config's geometry and timing fields parameterize
+	// every backend; fault injection is HMC-only.
+	Backend membackend.Kind
 	// Checks enables the runtime invariant checker across every layer
 	// (token ledger, MSHR leak audit, device byte conservation, clock
 	// monotonicity). Off by default: the checked quantities are identical
@@ -106,6 +113,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: %w", err)
 	}
 	if err := c.HMC.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := c.Backend.Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
@@ -209,7 +219,7 @@ func (r Result) RuntimeNs() float64 {
 type System struct {
 	cfg       Config
 	hierarchy *cache.Hierarchy
-	device    *hmc.Device
+	device    membackend.Backend
 	coal      *coalescer.Coalescer
 
 	outstanding []int    // demand misses in flight per CPU
@@ -243,6 +253,11 @@ type System struct {
 	ledger    *invariant.TokenLedger
 	runErr    error
 	lastClock uint64 // latest tick handed to the memory system (monotonicity)
+
+	// ts is the staged tick loop's scheduling state (stages.go), armed by
+	// Start and advanced by Step. Held by value: its slices are the only
+	// per-run allocations.
+	ts tickState
 }
 
 // fetchInfo records who started an outstanding line fill and when.
@@ -269,7 +284,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, err := hmc.NewDevice(cfg.HMC)
+	d, err := membackend.New(cfg.Backend, cfg.HMC)
 	if err != nil {
 		return nil, err
 	}
@@ -371,303 +386,33 @@ func (s *System) Checker() *invariant.Checker { return s.check }
 // Config returns the (mode-resolved) system configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Run replays the trace to completion and returns the run's metrics. The
-// trace must be ordered by tick (as produced by internal/workloads). A
-// System is single-use: build a fresh one per run.
+// Run replays the trace to completion and returns the run's metrics: it
+// arms the staged tick loop (Start), steps it until the trace has fully
+// issued, and drains the memory system (Finish). The trace must be ordered
+// by tick (as produced by internal/workloads). A System is single-use:
+// build a fresh one per run.
 //
-// Run interleaves two event sources in global time order: the per-CPU
-// access cursors (merged through a heap on effective issue tick) and the
-// memory system's own events (timeouts, packet readiness, responses). A
-// core that exhausts its MLP budget or waits on a fence is parked and
-// re-armed by memory progress; crucially the memory system is never
-// advanced past a runnable core's next access, so causality holds.
+// Each Step interleaves two event sources in global time order: the
+// per-CPU access cursors (merged through a heap on effective issue tick)
+// and the memory system's own events (timeouts, packet readiness,
+// responses). A core that exhausts its MLP budget or waits on a fence is
+// parked and re-armed by memory progress; crucially the memory system is
+// never advanced past a runnable core's next access, so causality holds.
+// See stages.go for the individual stages.
 func (s *System) Run(accs []trace.Access) (Result, error) {
-	if len(accs) > 1<<31-1 {
-		return Result{}, fmt.Errorf("sim: trace too long (%d accesses)", len(accs))
+	if err := s.Start(accs); err != nil {
+		return Result{}, err
 	}
-	cpus := s.cfg.Hierarchy.CPUs
-	// Pre-bucket the trace per CPU in CSR form: int32 index slices into the
-	// caller's accs instead of copying the accesses. streamOff[c] ..
-	// streamOff[c+1] delimits CPU c's indices within streamIdx.
-	streamOff := make([]int32, cpus+1)
-	for i := range accs {
-		if int(accs[i].CPU) >= cpus {
-			return Result{}, fmt.Errorf("sim: access from CPU %d, system has %d", accs[i].CPU, cpus)
+	for {
+		done, err := s.Step()
+		if err != nil {
+			return Result{}, err
 		}
-		streamOff[int(accs[i].CPU)+1]++
-	}
-	for c := 0; c < cpus; c++ {
-		streamOff[c+1] += streamOff[c]
-	}
-	streamIdx := make([]int32, len(accs))
-	fill := make([]int32, cpus)
-	copy(fill, streamOff[:cpus])
-	for i := range accs {
-		c := accs[i].CPU
-		streamIdx[fill[c]] = int32(i)
-		fill[c]++
-	}
-	streamLen := func(cpu uint8) int32 { return streamOff[int(cpu)+1] - streamOff[cpu] }
-	streamAt := func(cpu uint8, p int32) *trace.Access {
-		return &accs[streamIdx[streamOff[cpu]+p]]
-	}
-	cursors := make([]cursor, 0, cpus)
-	for cpu := 0; cpu < cpus; cpu++ {
-		if streamLen(uint8(cpu)) > 0 {
-			cursors = cursorPush(cursors, cursor{tick: streamAt(uint8(cpu), 0).Tick, cpu: uint8(cpu)})
+		if done {
+			break
 		}
 	}
-	pos := make([]int32, cpus)
-	// Parked-core bookkeeping as fixed per-CPU arrays (indexed by CPU
-	// number) so parking, waking and diagnostics are map-free and walk the
-	// cores in index order — deterministic by construction.
-	parkedTick := make([]uint64, cpus) // when the core parked (stall start)
-	parkedFence := make([]bool, cpus)  // waiting for outstanding == 0 rather than < budget
-	isParked := make([]bool, cpus)
-	nParked := 0
-	fenceSignaled := make([]bool, cpus)
-	var last uint64
-
-	// wake moves parked CPUs whose condition now holds back into the
-	// cursor heap at the wake tick.
-	wake := func(now uint64) {
-		if nParked == 0 {
-			return
-		}
-		for cpu := 0; cpu < cpus; cpu++ {
-			if !isParked[cpu] {
-				continue
-			}
-			ready := (parkedFence[cpu] && s.outstanding[cpu] == 0) ||
-				(!parkedFence[cpu] && s.outstanding[cpu] < s.cfg.MaxOutstanding)
-			if !ready {
-				continue
-			}
-			if now > parkedTick[cpu] {
-				s.stall[cpu] += now - parkedTick[cpu]
-			}
-			t := parkedTick[cpu]
-			if now > t {
-				t = now
-			}
-			cursors = cursorPush(cursors, cursor{tick: t, cpu: uint8(cpu)})
-			isParked[cpu] = false
-			nParked--
-		}
-	}
-
-	for len(cursors) > 0 || nParked > 0 {
-		// A callback or the coalescer latched a conservation violation:
-		// further simulation is untrustworthy, abort with the diagnostic.
-		// Both polls are nil compares — free on the clean path.
-		if s.runErr == nil {
-			s.runErr = s.coal.Err()
-		}
-		if s.runErr != nil {
-			return Result{}, fmt.Errorf("sim: %w", s.runErr)
-		}
-		memTick, memOK := s.coal.NextEvent()
-
-		// With no runnable CPU, only memory progress can unpark one.
-		if len(cursors) == 0 {
-			if !memOK {
-				// No runnable core and no memory event: either a response was
-				// dropped on the link (watchdog names the doomed line) or this
-				// is a genuine scheduling deadlock.
-				if werr := s.coal.WatchdogError(); werr != nil {
-					return Result{}, fmt.Errorf("sim: %w; links: %s", werr, s.device.DebugLinks())
-				}
-				return Result{}, s.deadlockError(isParked, parkedTick, parkedFence)
-			}
-			s.clockAdvance(memTick)
-			s.coal.Advance(memTick)
-			if memTick > last {
-				last = memTick
-			}
-			wake(memTick)
-			continue
-		}
-
-		cur := cursors[0]
-		if memOK && memTick <= cur.tick {
-			// Memory events due before the next access: deliver them first.
-			s.clockAdvance(memTick)
-			s.coal.Advance(memTick)
-			wake(memTick)
-			continue
-		}
-
-		cpu := cur.cpu
-		a := streamAt(cpu, pos[cpu])
-		effTick := cur.tick
-
-		switch {
-		case a.Kind == trace.FenceOp:
-			// Fence: flush the coalescer (once); the core parks until its
-			// outstanding demand misses retire.
-			if !fenceSignaled[cpu] {
-				s.clockAdvance(effTick)
-				s.coal.Fence(effTick)
-				fenceSignaled[cpu] = true
-			}
-			if s.outstanding[cpu] > 0 {
-				cursors = cursorPopRoot(cursors)
-				parkedTick[cpu] = effTick
-				parkedFence[cpu] = true
-				isParked[cpu] = true
-				nParked++
-				continue // cursor not advanced past the fence yet
-			}
-			fenceSignaled[cpu] = false
-		case s.outstanding[cpu] >= s.cfg.MaxOutstanding:
-			// MLP budget exhausted: park until a response frees a slot.
-			cursors = cursorPopRoot(cursors)
-			parkedTick[cpu] = effTick
-			parkedFence[cpu] = false
-			isParked[cpu] = true
-			nParked++
-			continue
-		default:
-			s.clockAdvance(effTick)
-			s.coal.Advance(effTick)
-			_, misses, err := s.hierarchy.Access(trace.Access{
-				Addr: a.Addr, Size: a.Size, Kind: a.Kind, CPU: a.CPU, Tick: effTick,
-			})
-			if err != nil {
-				return Result{}, fmt.Errorf("sim: %w", err)
-			}
-			var missedLines [8]uint64 // lines missed by THIS access (small fixed buffer)
-			nMissed := 0
-			for _, m := range misses {
-				tok := writeBackToken
-				if !m.WriteBack {
-					tok = s.newToken(m.CPU, m.Line)
-					// Register the fill as outstanding until its response.
-					s.fetchInsert(m.Line, tok, m.CPU, effTick)
-					if nMissed < len(missedLines) {
-						missedLines[nMissed] = m.Line
-						nMissed++
-					}
-				}
-				s.coal.Push(effTick, coalescer.Request{
-					Line:    m.Line,
-					Write:   m.Write,
-					Payload: m.Payload,
-					Token:   tok,
-				})
-			}
-			// Lines this access touched that hit the tag arrays but whose
-			// fill is still in flight are additional LLC misses in a real
-			// machine — when they come from a different core. (Same-core
-			// re-touches are absorbed by that core's private L1 MSHR
-			// subentries and never reach the LLC.) Regenerate them so they
-			// can merge in the shared MSHRs, as conventional MSHR-based
-			// coalescing does.
-			lineBytes := uint64(s.cfg.Hierarchy.LLC.LineBytes)
-			firstLn := a.Addr / lineBytes
-			lastLn := (a.End() - 1) / lineBytes
-			for ln := firstLn; ln <= lastLn; ln++ {
-				fresh := false
-				for i := 0; i < nMissed; i++ {
-					if missedLines[i] == ln {
-						fresh = true
-						break
-					}
-				}
-				if fresh {
-					continue
-				}
-				fi, busy := s.fetchLookup(ln)
-				if !busy {
-					continue
-				}
-				if fi.cpu == a.CPU && effTick-fi.tick <= sameCoreWindow {
-					continue
-				}
-				lo, hi := ln*lineBytes, (ln+1)*lineBytes
-				if a.Addr > lo {
-					lo = a.Addr
-				}
-				if a.End() < hi {
-					hi = a.End()
-				}
-				tok := s.newToken(a.CPU, ln)
-				s.coal.Push(effTick, coalescer.Request{
-					Line:    ln,
-					Write:   a.Kind == trace.Store,
-					Payload: uint32(hi - lo),
-					Token:   tok,
-				})
-			}
-		}
-		if effTick > last {
-			last = effTick
-		}
-
-		// Advance this CPU's cursor, carrying its accumulated delay.
-		delay := effTick - a.Tick
-		pos[cpu]++
-		if pos[cpu] < streamLen(cpu) {
-			cursors[0].tick = streamAt(cpu, pos[cpu]).Tick + delay
-			cursorFixRoot(cursors)
-		} else {
-			cursors = cursorPopRoot(cursors)
-		}
-	}
-
-	idle, err := s.coal.Drain(last)
-	if err != nil {
-		return Result{}, fmt.Errorf("sim: %w; links: %s", err, s.device.DebugLinks())
-	}
-	if s.runErr == nil {
-		s.runErr = s.coal.Err()
-	}
-	if s.runErr != nil {
-		return Result{}, fmt.Errorf("sim: %w", s.runErr)
-	}
-	if s.doneTok != s.pushedTok {
-		v := invariant.Violatef(invariant.RuleTokenConservation, idle, s.coal.DebugState(),
-			"%d token(s) pushed, %d completed", s.pushedTok, s.doneTok)
-		s.check.Record(v)
-		return Result{}, fmt.Errorf("sim: token conservation broken: %w", v)
-	}
-	if s.check != nil {
-		// End-of-run conservation audit: every queue drained, every MSHR
-		// entry free, every issued packet byte accounted for, every token
-		// slot dead. Only reachable with Config.Checks on.
-		if cerr := s.coal.CheckDrained(idle); cerr != nil {
-			return Result{}, fmt.Errorf("sim: %w", cerr)
-		}
-		if cerr := s.device.CheckConservation(idle); cerr != nil {
-			return Result{}, fmt.Errorf("sim: %w", cerr)
-		}
-		if v := s.ledger.CheckDrained(idle); v != nil {
-			s.check.Record(v)
-			return Result{}, fmt.Errorf("sim: %w", v)
-		}
-	}
-
-	res := Result{
-		RuntimeCycles: idle,
-		FailedLoads:   s.failedTok,
-		Coalescer:     s.coal.Stats(),
-		HMC:           s.device.Stats(),
-		LLC:           s.hierarchy.LLCStats(),
-		ClockGHz:      s.cfg.ClockGHz,
-		LineBytes:     s.cfg.Coalescer.LineBytes,
-	}
-	res.L1, res.L2 = s.hierarchy.LevelStats()
-	ms := s.coal.MSHRStats()
-	res.MSHR.Allocations = ms.Allocations
-	res.MSHR.MergedTargets = ms.MergedTargets
-	res.MSHR.SplitRequests = ms.SplitRequests
-	res.MSHR.FullStalls = ms.FullStalls
-	res.LLCMisses = res.Coalescer.Requests
-	res.HMCRequests = res.Coalescer.HMCRequests
-	for _, st := range s.stall {
-		res.StallCycles += st
-	}
-	return res, nil
+	return s.Finish()
 }
 
 // newToken allocates a demand-miss token for cpu waiting on line.

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"hmccoal/internal/fault"
+	"hmccoal/internal/membackend"
+	"hmccoal/internal/trace"
+	"hmccoal/internal/workloads"
+)
+
+// snapshotScenario is one row of the equivalence tables: a benchmark on a
+// configuration, run monolithically (Run) and via the staged loop with a
+// mid-run snapshot/restore, expecting byte-identical results.
+type snapshotScenario struct {
+	name    string
+	bench   string
+	ops     int
+	mode    Mode
+	backend membackend.Kind
+	ber     float64 // >0 enables deterministic link fault injection
+	checks  bool
+}
+
+func snapshotScenarios() []snapshotScenario {
+	return []snapshotScenario{
+		{name: "hpcg/two-phase", bench: "HPCG", ops: 600, mode: TwoPhase},
+		{name: "ft/two-phase", bench: "FT", ops: 600, mode: TwoPhase},
+		{name: "hpcg/baseline", bench: "HPCG", ops: 600, mode: Baseline},
+		{name: "ft/dmc-only", bench: "FT", ops: 600, mode: DMCOnly},
+		{name: "hpcg/ddr", bench: "HPCG", ops: 400, mode: TwoPhase, backend: membackend.KindDDR},
+		{name: "ft/ideal", bench: "FT", ops: 400, mode: TwoPhase, backend: membackend.KindIdeal},
+		{name: "hpcg/faulty", bench: "HPCG", ops: 600, mode: TwoPhase, ber: 1e-5},
+		{name: "ft/faulty-checked", bench: "FT", ops: 600, mode: TwoPhase, ber: 1e-5, checks: true},
+		{name: "hpcg/checked", bench: "HPCG", ops: 400, mode: TwoPhase, checks: true},
+	}
+}
+
+func (sc snapshotScenario) config() Config {
+	cfg := DefaultConfig()
+	cfg.Mode = sc.mode
+	cfg.Backend = sc.backend
+	cfg.Checks = sc.checks
+	if sc.ber > 0 {
+		cfg.HMC.Fault = fault.Config{Seed: 7, BER: sc.ber}
+	}
+	return cfg
+}
+
+func (sc snapshotScenario) trace(t *testing.T) []trace.Access {
+	t.Helper()
+	g, ok := workloads.ByName(sc.bench)
+	if !ok {
+		t.Fatalf("no workload %s", sc.bench)
+	}
+	accs, err := g.Generate(workloads.Params{CPUs: 12, OpsPerCPU: sc.ops, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return accs
+}
+
+func mustSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func diffResults(t *testing.T, want, got Result, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("%s: Result diverged:\nwant %+v\ngot  %+v", label, want, got)
+	}
+	if want.Summary() != got.Summary() {
+		t.Errorf("%s: Summary diverged:\n--- want\n%s--- got\n%s", label, want.Summary(), got.Summary())
+	}
+}
+
+// TestStagedLoopMatchesRun drives the staged Start/Step/Finish API manually
+// and requires the exact Result the one-shot Run produces, per benchmark
+// and mode — the safety net for the monolithic→staged decomposition.
+func TestStagedLoopMatchesRun(t *testing.T) {
+	for _, sc := range snapshotScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			accs := sc.trace(t)
+			want, err := mustSystem(t, sc.config()).Run(accs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := mustSystem(t, sc.config())
+			if err := s.Start(accs); err != nil {
+				t.Fatal(err)
+			}
+			for {
+				done, err := s.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if done {
+					break
+				}
+			}
+			got, err := s.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffResults(t, want, got, sc.name)
+		})
+	}
+}
+
+// stepUntil steps the system until its high-water tick reaches at least
+// tick (or the trace fully issues). Reports whether the loop is done.
+func stepUntil(t *testing.T, s *System, tick uint64) bool {
+	t.Helper()
+	for s.Tick() < tick {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			return true
+		}
+	}
+	return false
+}
+
+func finishStepping(t *testing.T, s *System) Result {
+	t.Helper()
+	for {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	res, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSnapshotRestoreEquivalence snapshots every scenario mid-run (around
+// tick 10k), restores into a fresh System, finishes both the original and
+// the restored copy, and requires all three (uninterrupted, snapshotted
+// original, restored) to agree byte-for-byte — including the faulty and
+// checks-enabled rows.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	for _, sc := range snapshotScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			accs := sc.trace(t)
+			want, err := mustSystem(t, sc.config()).Run(accs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			s := mustSystem(t, sc.config())
+			if err := s.Start(accs); err != nil {
+				t.Fatal(err)
+			}
+			if stepUntil(t, s, 10_000) {
+				t.Fatalf("trace drained before tick 10k; grow ops for this scenario")
+			}
+			snap, err := s.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			restored := mustSystem(t, sc.config())
+			if err := restored.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			gotRestored := finishStepping(t, restored)
+			diffResults(t, want, gotRestored, sc.name+"/restored")
+
+			// The snapshotted original must be unaffected by the snapshot.
+			gotOriginal := finishStepping(t, s)
+			diffResults(t, want, gotOriginal, sc.name+"/original")
+
+			// A snapshot is not consumed: restore it a second time.
+			again := mustSystem(t, sc.config())
+			if err := again.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			diffResults(t, want, finishStepping(t, again), sc.name+"/restored-twice")
+		})
+	}
+}
+
+func TestSnapshotAPIErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	accs := snapshotScenario{bench: "HPCG", ops: 200}.trace(t)
+
+	s := mustSystem(t, cfg)
+	if _, err := s.Snapshot(); err == nil {
+		t.Error("Snapshot before Start accepted")
+	}
+	if err := s.Start(accs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(accs); err == nil {
+		t.Error("second Start accepted")
+	}
+	if stepUntil(t, s, 1000) {
+		t.Fatal("trace drained too early")
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(snap); err == nil {
+		t.Error("Restore into a started System accepted")
+	}
+
+	// Config mismatch must be rejected.
+	other := DefaultConfig()
+	other.MaxOutstanding = 8
+	if err := mustSystem(t, other).Restore(snap); err == nil {
+		t.Error("Restore with differing config accepted")
+	}
+	otherBackend := DefaultConfig()
+	otherBackend.Backend = membackend.KindIdeal
+	if err := mustSystem(t, otherBackend).Restore(snap); err == nil {
+		t.Error("Restore into a different backend accepted")
+	}
+	checked := DefaultConfig()
+	checked.Checks = true
+	if err := mustSystem(t, checked).Restore(snap); err == nil {
+		t.Error("Restore of an unchecked snapshot into a checked system accepted")
+	}
+
+	finishStepping(t, s)
+	if _, err := s.Snapshot(); err == nil {
+		t.Error("Snapshot after Finish accepted")
+	}
+	if _, err := s.Finish(); err == nil {
+		t.Error("second Finish accepted")
+	}
+}
+
+func TestFinishBeforeDrainRejected(t *testing.T) {
+	s := mustSystem(t, DefaultConfig())
+	accs := snapshotScenario{bench: "FT", ops: 300}.trace(t)
+	if err := s.Start(accs); err != nil {
+		t.Fatal(err)
+	}
+	if stepUntil(t, s, 1000) {
+		t.Fatal("trace drained too early")
+	}
+	if _, err := s.Finish(); err == nil {
+		t.Error("Finish with runnable CPUs accepted")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"hmccoal/internal/coalescer"
 	"hmccoal/internal/fault"
 	"hmccoal/internal/invariant"
+	"hmccoal/internal/membackend"
 	"hmccoal/internal/sim"
 	"hmccoal/internal/sweep"
 	"hmccoal/internal/trace"
@@ -49,13 +50,33 @@ type Scenario struct {
 
 	TimeoutCycles   uint64 `json:"timeout_cycles"`
 	AdaptiveTimeout bool   `json:"adaptive_timeout"`
+
+	// Backend names the memory backend ("" or "hmc" is the HMC model;
+	// "ddr", "ideal" select the alternatives). Omitted on legacy repro
+	// files, which therefore keep replaying against the HMC.
+	Backend string `json:"backend,omitempty"`
 }
 
 // String names the scenario compactly for logs.
 func (sc Scenario) String() string {
-	return fmt.Sprintf("run %d: %s cpus=%d ops=%d mode=%v ber=%g drop=%g timeout=%d adaptive=%v",
+	s := fmt.Sprintf("run %d: %s cpus=%d ops=%d mode=%v ber=%g drop=%g timeout=%d adaptive=%v",
 		sc.Index, sc.Workload, sc.CPUs, sc.OpsPerCPU, sim.Mode(sc.Mode),
 		sc.BER, sc.DropRate, sc.TimeoutCycles, sc.AdaptiveTimeout)
+	if sc.Backend != "" {
+		s += " backend=" + sc.Backend
+	}
+	return s
+}
+
+// backendKind resolves the scenario's backend. An unknown name resolves
+// to an invalid kind, so building the system fails loudly instead of
+// silently soaking the wrong device.
+func (sc Scenario) backendKind() membackend.Kind {
+	k, err := membackend.ParseKind(sc.Backend)
+	if err != nil {
+		return membackend.Kind(-1)
+	}
+	return k
 }
 
 // scenario dimension grids. Drop rates are kept low enough that retries
@@ -110,6 +131,12 @@ func (sc Scenario) Config() sim.Config {
 	cfg.Coalescer.TimeoutCycles = sc.TimeoutCycles
 	cfg.Coalescer.AdaptiveTimeout = sc.AdaptiveTimeout
 	cfg.HMC.Fault = fault.Config{Seed: sc.FaultSeed, BER: sc.BER, DropRate: sc.DropRate}
+	cfg.Backend = sc.backendKind()
+	if cfg.Backend != membackend.KindHMC {
+		// Link fault injection is HMC-only: the alternative backends have
+		// no serial links, so their scenarios soak the fault-free paths.
+		cfg.HMC.Fault = fault.Config{}
+	}
 	cfg.Checks = true
 	return cfg
 }
@@ -155,7 +182,7 @@ func Classify(sc Scenario, err error) Outcome {
 	if _, ok := invariant.As(err); ok {
 		return Failed
 	}
-	if errors.Is(err, coalescer.ErrWatchdog) && sc.DropRate > 0 {
+	if errors.Is(err, coalescer.ErrWatchdog) && sc.DropRate > 0 && sc.backendKind() == membackend.KindHMC {
 		return Expected
 	}
 	return Failed
@@ -182,6 +209,21 @@ type Options struct {
 	Run RunFunc
 	// Progress, when non-nil, receives sweep progress.
 	Progress func(done, total int)
+	// Backend soaks every scenario on this memory backend instead of the
+	// HMC model (fault dimensions are neutralized for the link-less
+	// backends). The zero value keeps the legacy HMC grid untouched.
+	Backend membackend.Kind
+}
+
+// scenario derives run i of the campaign and applies the campaign-wide
+// backend override. The HMC default leaves scenarios identical to the
+// legacy grid, so old repro indices stay reproducible.
+func (o Options) scenario(i int) Scenario {
+	sc := MakeScenario(o.Seed, i)
+	if o.Backend != membackend.KindHMC {
+		sc.Backend = o.Backend.String()
+	}
+	return sc
 }
 
 // Failure is one failing scenario with its shrunken reproduction.
@@ -234,7 +276,7 @@ func Soak(ctx context.Context, opts Options) (Report, error) {
 		KeepGoing:  true,
 		Progress:   opts.Progress,
 	}, func(ctx context.Context, i int) (result, error) {
-		sc := MakeScenario(opts.Seed, i)
+		sc := opts.scenario(i)
 		accs, err := sc.Trace()
 		if err != nil {
 			return result{}, &sweep.JobError{Job: i, Err: err}
@@ -271,7 +313,7 @@ func Soak(ctx context.Context, opts Options) (Report, error) {
 				msg = "scenario did not run (sweep aborted)"
 			}
 			rep.Failures = append(rep.Failures, Failure{
-				Scenario: MakeScenario(opts.Seed, i), Err: msg,
+				Scenario: opts.scenario(i), Err: msg,
 			})
 			continue
 		}

@@ -60,6 +60,12 @@ type Options struct {
 	// the returned error; soak harnesses use this to collect every
 	// violation in a grid rather than just the first.
 	KeepGoing bool
+	// Backend tags every checkpoint line with the sweep's memory backend;
+	// on restore, lines carrying a different tag are skipped so a ddr
+	// sweep never resumes from hmc results. The empty tag is the legacy
+	// default: checkpoints written before backends existed carry no tag
+	// and keep restoring into untagged (default-backend) sweeps.
+	Backend string
 }
 
 // JobError wraps a job failure with the index of the job that failed.
@@ -105,6 +111,9 @@ func (o Options) workers(n int) int {
 type checkpointLine struct {
 	Job int `json:"job"`
 	N   int `json:"n"`
+	// Backend is the sweep's memory-backend tag; empty on legacy lines
+	// (and on untagged sweeps, keeping their format byte-compatible).
+	Backend string `json:"backend,omitempty"`
 	// Result is deferred so restore can skip records whose envelope does
 	// not match before paying for the payload.
 	Result json.RawMessage `json:"result"`
@@ -129,7 +138,7 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 	restored := make([]bool, n)
 	var ckpt *os.File
 	if opts.Checkpoint != "" {
-		nRestored, err := restoreCheckpoint(opts.Checkpoint, n, results, restored)
+		nRestored, err := restoreCheckpoint(opts.Checkpoint, n, opts.Backend, results, restored)
 		if err != nil {
 			return results, err
 		}
@@ -204,7 +213,7 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 					continue
 				}
 				results[i] = r
-				finish(i, nil, func() error { return appendCheckpoint(ckpt, i, n, r) })
+				finish(i, nil, func() error { return appendCheckpoint(ckpt, i, n, opts.Backend, r) })
 			}
 		}()
 	}
@@ -270,10 +279,11 @@ func runJob[T any](ctx context.Context, i int, opts Options, fn func(ctx context
 
 // restoreCheckpoint loads completed results from a JSONL checkpoint into
 // results/restored and reports how many were restored. A missing file is
-// an empty checkpoint. Records from a different grid size, out-of-range
-// indices, and undecodable lines (typically a truncated trailing line
-// from a crash mid-append) are skipped, not errors.
-func restoreCheckpoint[T any](path string, n int, results []T, restored []bool) (int, error) {
+// an empty checkpoint. Records from a different grid size or backend,
+// out-of-range indices, and undecodable lines (typically a truncated
+// trailing line from a crash mid-append) are skipped, not errors. Legacy
+// lines carry no backend tag and restore only into untagged sweeps.
+func restoreCheckpoint[T any](path string, n int, backend string, results []T, restored []bool) (int, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
@@ -288,7 +298,7 @@ func restoreCheckpoint[T any](path string, n int, results []T, restored []bool) 
 		if err := dec.Decode(&line); err != nil {
 			break // EOF or a truncated/corrupt tail: keep what decoded
 		}
-		if line.N != n || line.Job < 0 || line.Job >= n || restored[line.Job] {
+		if line.N != n || line.Backend != backend || line.Job < 0 || line.Job >= n || restored[line.Job] {
 			continue
 		}
 		var r T
@@ -304,7 +314,7 @@ func restoreCheckpoint[T any](path string, n int, results []T, restored []bool) 
 
 // appendCheckpoint writes one completed job to the checkpoint, or does
 // nothing when checkpointing is off.
-func appendCheckpoint[T any](f *os.File, i, n int, r T) error {
+func appendCheckpoint[T any](f *os.File, i, n int, backend string, r T) error {
 	if f == nil {
 		return nil
 	}
@@ -312,7 +322,7 @@ func appendCheckpoint[T any](f *os.File, i, n int, r T) error {
 	if err != nil {
 		return fmt.Errorf("sweep: checkpoint job %d: %w", i, err)
 	}
-	buf, err := json.Marshal(checkpointLine{Job: i, N: n, Result: raw})
+	buf, err := json.Marshal(checkpointLine{Job: i, N: n, Backend: backend, Result: raw})
 	if err != nil {
 		return fmt.Errorf("sweep: checkpoint job %d: %w", i, err)
 	}

@@ -30,16 +30,26 @@ type SweepOptions struct {
 	// file so an interrupted sweep resumes without recomputing (see
 	// sweep.Options.Checkpoint). Use a distinct file per sweep grid.
 	Checkpoint string
+	// Backend selects the memory device for every simulation of the sweep
+	// (see Config.Backend). The zero value is the default HMC model; its
+	// checkpoint lines stay untagged, so pre-backend checkpoints keep
+	// resuming (sweep.Options.Backend).
+	Backend BackendKind
 }
 
 func (o SweepOptions) engine() sweep.Options {
-	return sweep.Options{Workers: o.Workers, Progress: o.Progress, Checkpoint: o.Checkpoint}
+	opt := sweep.Options{Workers: o.Workers, Progress: o.Progress, Checkpoint: o.Checkpoint}
+	if o.Backend != BackendHMC {
+		opt.Backend = o.Backend.String()
+	}
+	return opt
 }
 
 // config is DefaultConfig with the sweep-wide toggles applied.
 func (o SweepOptions) config() Config {
 	cfg := DefaultConfig()
 	cfg.Checks = o.Checks
+	cfg.Backend = o.Backend
 	return cfg
 }
 
@@ -189,6 +199,57 @@ func Figure14TableContext(ctx context.Context, p TraceParams, timeouts []uint64,
 		rows = append(rows, row)
 	}
 	return rows2(rows), nil
+}
+
+// speedupModes is the SpeedupTable grid: the conventional MHA against the
+// full coalescer.
+var speedupModes = [2]Mode{ModeBaseline, ModeTwoPhase}
+
+// SpeedupTableContext renders the Figure 15 runtime-improvement study on a
+// chosen memory backend: every benchmark under the conventional MHA and
+// the two-phase coalescer, with runtimes and the relative improvement. The
+// (benchmark × mode) grid fans across the worker pool with one shared
+// trace per benchmark. Unlike Figure15Table it carries a backend column,
+// so ddr/ideal runs are comparable against the HMC rows side by side.
+func SpeedupTableContext(ctx context.Context, p TraceParams, opt SweepOptions) (string, error) {
+	names := Benchmarks()
+	trace := traceTable(names, p)
+	nModes := len(speedupModes)
+	cells, err := sweep.Map(ctx, len(names)*nModes, opt.engine(),
+		func(_ context.Context, i int) (Result, error) {
+			b, m := i/nModes, i%nModes
+			accs, err := trace(b)
+			if err != nil {
+				return Result{}, err
+			}
+			return runMode(names[b], speedupModes[m], opt.config(), accs)
+		})
+	if err != nil {
+		return "", err
+	}
+	rows := [][]string{{"benchmark", "backend", "MSHR-based", "two-phase", "improvement"}}
+	var sum float64
+	for b, name := range names {
+		base, two := cells[b*nModes+0], cells[b*nModes+1]
+		r := BenchmarkRun{Baseline: base, TwoPhase: two}
+		rows = append(rows, []string{
+			name,
+			opt.Backend.String(),
+			fmt.Sprintf("%d cyc", base.RuntimeCycles),
+			fmt.Sprintf("%d cyc", two.RuntimeCycles),
+			metrics.Pct(r.Speedup()),
+		})
+		sum += r.Speedup()
+	}
+	if len(names) > 0 {
+		rows = append(rows, []string{"average", opt.Backend.String(), "", "", metrics.Pct(sum / float64(len(names)))})
+	}
+	return rows2(rows), nil
+}
+
+// SpeedupTable is SpeedupTableContext without cancellation.
+func SpeedupTable(p TraceParams, opt SweepOptions) (string, error) {
+	return SpeedupTableContext(context.Background(), p, opt)
 }
 
 // MSHRSweepContext is MSHRSweep on a worker pool.
