@@ -1,0 +1,166 @@
+package hmccoal
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestBatchedSweepDeterminism is the batch engine's contract at the driver
+// layer: a sweep run with lockstep batching (-batch) must produce
+// byte-identical results to the serial per-job pipeline, at any width.
+func TestBatchedSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	p := sweepTestParams()
+	serial, err := RunAllContext(context.Background(), p, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 2, 8} {
+		batched, err := RunAllContext(context.Background(), p, SweepOptions{Workers: 1, Batch: batch})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if !reflect.DeepEqual(serial, batched) {
+			t.Fatalf("batch=%d: results differ from serial sweep", batch)
+		}
+		a, _ := json.Marshal(serial)
+		b, _ := json.Marshal(batched)
+		if string(a) != string(b) {
+			t.Fatalf("batch=%d: serialized results differ", batch)
+		}
+	}
+	// Batching and parallelism compose.
+	both, err := RunAllContext(context.Background(), p, SweepOptions{Workers: 3, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, both) {
+		t.Fatal("workers=3 batch=4: results differ from serial sweep")
+	}
+}
+
+// TestBatchedTimeoutAndFaultSweeps checks the remaining batched drivers
+// against their serial outputs.
+func TestBatchedTimeoutAndFaultSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	p := sweepTestParams()
+
+	timeouts := []uint64{16, 28}
+	serialT, err := TimeoutSweepContext(context.Background(), "SG", p, timeouts, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchedT, err := TimeoutSweepContext(context.Background(), "SG", p, timeouts, SweepOptions{Workers: 1, Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialT, batchedT) {
+		t.Fatalf("timeout sweep differs: serial %v batched %v", serialT, batchedT)
+	}
+
+	bers := []float64{0, 1e-5}
+	serialF, err := FaultSweepContext(context.Background(), "STREAM", p, 3, bers, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchedF, err := FaultSweepContext(context.Background(), "STREAM", p, 3, bers, SweepOptions{Workers: 1, Batch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialF, batchedF) {
+		t.Fatal("fault sweep differs between batched and serial runs")
+	}
+
+	entries := []int{8, 16}
+	serialM, err := MSHRSweepContext(context.Background(), "FT", p, entries, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchedM, err := MSHRSweepContext(context.Background(), "FT", p, entries, SweepOptions{Workers: 1, Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialM, batchedM) {
+		t.Fatalf("MSHR sweep differs: serial %v batched %v", serialM, batchedM)
+	}
+}
+
+// TestTraceTableReleases pins the refcount contract: a benchmark's trace
+// is generated on first get, stays resident while jobs are outstanding,
+// and is dropped when the last job calls done.
+func TestTraceTableReleases(t *testing.T) {
+	names := []string{"STREAM", "EP"}
+	tr := newTraceTable(names, sweepTestParams(), 2, 3)
+
+	if tr.resident(0) || tr.resident(1) {
+		t.Fatal("cells resident before first get")
+	}
+	accs, idx, err := tr.get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) == 0 || idx == nil {
+		t.Fatal("get returned an empty trace")
+	}
+	if !tr.resident(0) {
+		t.Fatal("cell not resident after get")
+	}
+	if tr.resident(1) {
+		t.Fatal("untouched benchmark generated eagerly")
+	}
+
+	// Same cell, same backing trace — shared, not regenerated.
+	accs2, idx2, err := tr.get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &accs[0] != &accs2[0] || idx != idx2 {
+		t.Fatal("second get rebuilt the trace instead of sharing it")
+	}
+
+	tr.done(0)
+	tr.done(0)
+	if !tr.resident(0) {
+		t.Fatal("cell dropped with a job still outstanding")
+	}
+	tr.done(0)
+	if tr.resident(0) {
+		t.Fatal("cell still resident after its last job completed")
+	}
+}
+
+// TestFaultSweepTableNoData checks the speedup column: a row whose runs
+// never executed renders "n/a", not a bogus 0% ratio; a real row renders
+// its percentage.
+func TestFaultSweepTableNoData(t *testing.T) {
+	real := FaultSweepRow{BER: 1e-6}
+	real.Baseline.RuntimeCycles = 2000
+	real.TwoPhase.RuntimeCycles = 1500
+	empty := FaultSweepRow{BER: 1e-5} // never ran: zero baseline
+
+	if real.Speedup() != 0.25 {
+		t.Fatalf("real row speedup %v, want 0.25", real.Speedup())
+	}
+	if empty.Speedup() != 0 || empty.HasData() {
+		t.Fatal("empty row claims data")
+	}
+
+	table := FaultSweepTable([]FaultSweepRow{real, empty})
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want header + rule + 2 rows:\n%s", len(lines), table)
+	}
+	if !strings.Contains(lines[2], "25.00%") {
+		t.Errorf("row with data lacks its speedup:\n%s", table)
+	}
+	if !strings.Contains(lines[3], "n/a") {
+		t.Errorf("row without data does not render n/a:\n%s", table)
+	}
+}

@@ -48,6 +48,7 @@ func run(argv []string) int {
 		requests  = fs.Int("n", 100000, "number of requests")
 		seed      = fs.Int64("seed", 1, "random seed")
 		workers   = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
+		batch     = fs.Int("batch", 0, "sweep points grouped per worker job (0/1 = one at a time)")
 		backend   = fs.String("backend", "hmc", "memory backend: hmc, ddr or ideal")
 		faults    = fs.String("faults", "", "link fault injection (hmc backend only), e.g. seed=1,ber=1e-6[,drop=1e-7][,retries=3]")
 
@@ -86,33 +87,43 @@ func run(argv []string) int {
 		// across the worker pool; rows print in size order regardless of
 		// completion order.
 		sizes := []uint32{16, 32, 64, 128, 256}
-		rows, err := sweep.Map(context.Background(), len(sizes), sweep.Options{Workers: *workers},
-			func(_ context.Context, i int) (string, error) {
-				sz := sizes[i]
-				dev, err := membackend.New(kind, hmc.DefaultConfig())
+		point := func(sz uint32) (string, error) {
+			dev, err := membackend.New(kind, hmc.DefaultConfig())
+			if err != nil {
+				return "", err
+			}
+			var last uint64
+			n := (1 << 24) / int(sz) // fixed 16 MiB of payload
+			for j := 0; j < n; j++ {
+				done, err := dev.Submit(0, hmc.Request{
+					Addr:           uint64(j) * 256,
+					PacketBytes:    sz,
+					RequestedBytes: sz,
+				})
 				if err != nil {
 					return "", err
 				}
-				var last uint64
-				n := (1 << 24) / int(sz) // fixed 16 MiB of payload
-				for j := 0; j < n; j++ {
-					done, err := dev.Submit(0, hmc.Request{
-						Addr:           uint64(j) * 256,
-						PacketBytes:    sz,
-						RequestedBytes: sz,
-					})
-					if err != nil {
-						return "", err
-					}
-					if done > last {
-						last = done
-					}
+				if done > last {
+					last = done
 				}
-				s := dev.Stats()
-				us := float64(last) / 3.3 / 1000
-				gbps := float64(s.PacketBytes) / (us * 1000)
-				return fmt.Sprintf("%7dB %8s %12d %12.1f %14.2f %11.2f%%",
-					sz, kind, s.Requests, us, gbps, 100*s.BandwidthEfficiency()), nil
+			}
+			s := dev.Stats()
+			us := float64(last) / 3.3 / 1000
+			gbps := float64(s.PacketBytes) / (us * 1000)
+			return fmt.Sprintf("%7dB %8s %12d %12.1f %14.2f %11.2f%%",
+				sz, kind, s.Requests, us, gbps, 100*s.BandwidthEfficiency()), nil
+		}
+		rows, err := sweep.MapBatch(context.Background(), len(sizes), *batch, sweep.Options{Workers: *workers},
+			func(_ context.Context, idxs []int) ([]string, error) {
+				out := make([]string, 0, len(idxs))
+				for _, i := range idxs {
+					row, err := point(sizes[i])
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, row)
+				}
+				return out, nil
 			})
 		if err != nil {
 			return runErr(err)

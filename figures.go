@@ -256,12 +256,19 @@ func Figure15Table(runs []BenchmarkRun) string {
 func FaultSweepTable(rows []FaultSweepRow) string {
 	out := [][]string{{"BER", "MSHR-based", "DMC unit", "two-phase", "speedup", "retries", "poisoned", "degraded"}}
 	for _, r := range rows {
+		// A row with no baseline data (its runs never executed — aborted or
+		// partially restored sweep) has no speedup; Speedup() returns 0
+		// there, which would render identically to a genuine zero speedup.
+		speedup := "n/a"
+		if r.HasData() {
+			speedup = metrics.Pct(r.Speedup())
+		}
 		out = append(out, []string{
 			fmt.Sprintf("%.0e", r.BER),
 			metrics.Pct(r.Baseline.HMC.BandwidthEfficiency()),
 			metrics.Pct(r.DMCOnly.HMC.BandwidthEfficiency()),
 			metrics.Pct(r.TwoPhase.HMC.BandwidthEfficiency()),
-			metrics.Pct(r.Speedup()),
+			speedup,
 			fmt.Sprintf("%d", r.TwoPhase.HMC.Retries),
 			fmt.Sprintf("%d", r.TwoPhase.HMC.PoisonedResponses),
 			fmt.Sprintf("%d", r.TwoPhase.Coalescer.DegradedCycles),

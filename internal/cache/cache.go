@@ -40,9 +40,9 @@ func (c Config) validate() error {
 
 type line struct {
 	tag   uint64
-	valid bool
-	dirty bool
 	lru   uint64 // recency counter; used only when ways > lruStackWays
+	gen   uint32 // generation stamp: the line is valid iff gen == Cache.gen
+	dirty bool
 }
 
 // Stats counts per-level activity.
@@ -72,15 +72,24 @@ const lruStackWays = 16
 // picking a victim are then register-only word operations instead of
 // counter scans, and victim selection is identical to counter LRU: invalid
 // ways are consumed in index order, then the least recently touched way.
+// Line validity is generational: a line is valid only while its gen stamp
+// matches the cache's. Reset then invalidates the whole array by bumping
+// gen — O(1), no matter how many megabytes of tags the level holds — which
+// is what lets a sweep engine recycle cache levels across runs at zero
+// cost. The per-set recency stacks are re-initialized lazily the first
+// time a set is touched in a new generation (orderGen).
 type Cache struct {
-	cfg     Config
-	lines   []line   // sets × ways, set-major
-	order   []uint64 // packed per-set recency stacks (ways <= lruStackWays)
-	setMask uint64   // numSets - 1
-	tagBits uint     // log2(numSets): tag = lineNum >> tagBits
-	ways    int
-	clock   uint64
-	stats   Stats
+	cfg       Config
+	lines     []line   // sets × ways, set-major
+	order     []uint64 // packed per-set recency stacks (ways <= lruStackWays)
+	orderGen  []uint32 // generation of each set's recency stack
+	setMask   uint64   // numSets - 1
+	tagBits   uint     // log2(numSets): tag = lineNum >> tagBits
+	ways      int
+	gen       uint32 // current generation (starts at 1; zeroed lines are stale)
+	bootOrder uint64 // initialOrder(ways), the stack a fresh set starts from
+	clock     uint64
+	stats     Stats
 }
 
 // initialOrder is the boot recency stack: way 0 at the LRU end, so empty
@@ -100,17 +109,17 @@ func New(cfg Config) (*Cache, error) {
 	}
 	numSets := cfg.SizeBytes / uint64(cfg.LineBytes) / uint64(cfg.Ways)
 	c := &Cache{
-		cfg:     cfg,
-		lines:   make([]line, numSets*uint64(cfg.Ways)),
-		setMask: numSets - 1,
-		tagBits: uint(bits.TrailingZeros64(numSets)),
-		ways:    cfg.Ways,
+		cfg:       cfg,
+		lines:     make([]line, numSets*uint64(cfg.Ways)),
+		setMask:   numSets - 1,
+		tagBits:   uint(bits.TrailingZeros64(numSets)),
+		ways:      cfg.Ways,
+		gen:       1,
+		bootOrder: initialOrder(cfg.Ways),
 	}
 	if cfg.Ways <= lruStackWays {
 		c.order = make([]uint64, numSets)
-		for i := range c.order {
-			c.order[i] = initialOrder(cfg.Ways)
-		}
+		c.orderGen = make([]uint32, numSets)
 	}
 	return c, nil
 }
@@ -160,8 +169,14 @@ func (c *Cache) AccessValue(lineNum uint64, write bool) (hit bool, writeBack uin
 	base := set * uint64(c.ways)
 	ways := c.lines[base : base+uint64(c.ways)]
 	tag := lineNum >> c.tagBits
+	if c.order != nil && c.orderGen[set] != c.gen {
+		// First touch of this set in the current generation: its recency
+		// stack still describes the previous run, so reboot it.
+		c.order[set] = c.bootOrder
+		c.orderGen[set] = c.gen
+	}
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+		if ways[i].gen == c.gen && ways[i].tag == tag {
 			c.stats.Hits++
 			if c.order != nil {
 				c.touch(set, i)
@@ -175,15 +190,16 @@ func (c *Cache) AccessValue(lineNum uint64, write bool) (hit bool, writeBack uin
 		}
 	}
 	c.stats.Misses++
-	// Choose a victim: an invalid way, else the least recently used. With
-	// the packed stack both cases collapse to the stack's LRU rank (invalid
-	// ways sit at the cold end in index order by construction).
+	// Choose a victim: an invalid (stale-generation) way, else the least
+	// recently used. With the packed stack both cases collapse to the
+	// stack's LRU rank (invalid ways sit at the cold end in index order by
+	// construction).
 	victim := 0
 	if c.order != nil {
 		victim = int(c.order[set]>>(4*(c.ways-1))) & 0xf
-		if ways[victim].valid {
+		if ways[victim].gen == c.gen {
 			for i := range ways {
-				if !ways[i].valid {
+				if ways[i].gen != c.gen {
 					victim = i
 					break
 				}
@@ -191,7 +207,7 @@ func (c *Cache) AccessValue(lineNum uint64, write bool) (hit bool, writeBack uin
 		}
 	} else {
 		for i := range ways {
-			if !ways[i].valid {
+			if ways[i].gen != c.gen {
 				victim = i
 				break
 			}
@@ -200,16 +216,29 @@ func (c *Cache) AccessValue(lineNum uint64, write bool) (hit bool, writeBack uin
 			}
 		}
 	}
-	if ways[victim].valid && ways[victim].dirty {
+	if ways[victim].gen == c.gen && ways[victim].dirty {
 		c.stats.WriteBacks++
 		writeBack = ways[victim].tag<<c.tagBits | set
 		hasWriteBack = true
 	}
-	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	ways[victim] = line{tag: tag, dirty: write, lru: c.clock, gen: c.gen}
 	if c.order != nil {
 		c.touch(set, victim)
 	}
 	return false, writeBack, hasWriteBack
+}
+
+// Reset returns the level to its freshly built state — every line invalid,
+// recency stacks at boot order, clock and counters zero — in O(1):
+// bumping the generation invalidates the whole tag array at once, and the
+// recency stacks reboot lazily on first touch. A reset cache behaves
+// identically to one just returned by New, at no allocation and no
+// memset: sweep engines recycle cache levels across runs instead of
+// re-zeroing megabytes per job.
+func (c *Cache) Reset() {
+	c.gen++
+	c.clock = 0
+	c.stats = Stats{}
 }
 
 // Contains reports whether the line is present (no LRU update).
@@ -219,7 +248,7 @@ func (c *Cache) Contains(lineNum uint64) bool {
 	ways := c.lines[base : base+uint64(c.ways)]
 	tag := lineNum >> c.tagBits
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+		if ways[i].gen == c.gen && ways[i].tag == tag {
 			return true
 		}
 	}
@@ -235,13 +264,14 @@ func (c *Cache) Flush() []uint64 {
 		base := s * uint64(c.ways)
 		for w := 0; w < c.ways; w++ {
 			l := &c.lines[base+uint64(w)]
-			if l.valid && l.dirty {
+			if l.gen == c.gen && l.dirty {
 				dirty = append(dirty, l.tag<<c.tagBits|s)
 			}
-			*l = line{}
+			*l = line{} // gen 0: stale in every generation
 		}
 		if c.order != nil {
-			c.order[s] = initialOrder(c.ways)
+			c.order[s] = c.bootOrder
+			c.orderGen[s] = c.gen
 		}
 	}
 	return dirty

@@ -99,6 +99,19 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
+// Reset returns every level to its freshly built state in place. The tag
+// arrays — the dominant allocation of the whole simulated system — are
+// reused and invalidated generationally, so a stack reset is O(CPUs)
+// instead of rebuilding (or even re-zeroing) megabytes of tags per run.
+func (h *Hierarchy) Reset() {
+	for i := range h.l1 {
+		h.l1[i].Reset()
+		h.l2[i].Reset()
+	}
+	h.llc.Reset()
+	h.missBuf = h.missBuf[:0]
+}
+
 // LineBytes returns the common cache line size.
 func (h *Hierarchy) LineBytes() uint32 { return h.cfg.LLC.LineBytes }
 

@@ -7,19 +7,25 @@ import "fmt"
 // Geometry (set mask, ways, tag split) is configuration-derived and not
 // captured; a snapshot only restores into a cache of identical geometry.
 type State struct {
-	lines []line
-	order []uint64
-	clock uint64
-	stats Stats
+	lines    []line
+	order    []uint64
+	orderGen []uint32
+	gen      uint32
+	clock    uint64
+	stats    Stats
 }
 
-// SaveState deep-copies the cache's mutable state.
+// SaveState deep-copies the cache's mutable state. The generation stamp is
+// part of the state: line validity is relative to it, so restoring copies
+// the donor's generation along with its tag array.
 func (c *Cache) SaveState() *State {
 	return &State{
-		lines: append([]line(nil), c.lines...),
-		order: append([]uint64(nil), c.order...),
-		clock: c.clock,
-		stats: c.stats,
+		lines:    append([]line(nil), c.lines...),
+		order:    append([]uint64(nil), c.order...),
+		orderGen: append([]uint32(nil), c.orderGen...),
+		gen:      c.gen,
+		clock:    c.clock,
+		stats:    c.stats,
 	}
 }
 
@@ -32,6 +38,8 @@ func (c *Cache) RestoreState(st *State) error {
 	}
 	copy(c.lines, st.lines)
 	copy(c.order, st.order)
+	copy(c.orderGen, st.orderGen)
+	c.gen = st.gen
 	c.clock = st.clock
 	c.stats = st.stats
 	return nil

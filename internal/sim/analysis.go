@@ -64,15 +64,24 @@ func (a PayloadAnalysis) SavedBytes() int64 {
 // trace. width is the sorter sequence width used to batch the miss stream
 // (16 in the paper).
 func AnalyzePayload(hier cache.HierarchyConfig, accs []trace.Access, width int) (PayloadAnalysis, error) {
-	res := PayloadAnalysis{Hist: make(map[uint32]uint64)}
 	h, err := cache.NewHierarchy(hier)
 	if err != nil {
-		return res, err
+		return PayloadAnalysis{Hist: make(map[uint32]uint64)}, err
 	}
+	return AnalyzePayloadWith(h, accs, width)
+}
+
+// AnalyzePayloadWith is AnalyzePayload on a caller-supplied hierarchy,
+// which it resets before walking the trace. Dense sweeps reuse one
+// hierarchy — megabytes of tag arrays — across analyses instead of
+// rebuilding it per call; the result is identical to a fresh build.
+func AnalyzePayloadWith(h *cache.Hierarchy, accs []trace.Access, width int) (PayloadAnalysis, error) {
+	h.Reset()
+	res := PayloadAnalysis{Hist: make(map[uint32]uint64)}
 	if width <= 0 {
 		width = 16
 	}
-	lineBytes := uint64(hier.LLC.LineBytes)
+	lineBytes := uint64(h.LineBytes())
 	linesPerBlock := hmc.MaxRequestBytes / lineBytes
 
 	type missRec struct {

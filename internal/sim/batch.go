@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+
+	"hmccoal/internal/trace"
+)
+
+// BatchJob is one run in a batch: a named configuration replaying a trace.
+type BatchJob struct {
+	// Name labels the job in batch error messages ("HPCG/two-phase").
+	Name string
+	Cfg  Config
+	// Accs is the trace to replay. Ignored when Index is set.
+	Accs []trace.Access
+	// Index, when non-nil, is a pre-bucketed index of the trace, shared
+	// read-only across every job replaying it; lanes then skip the per-run
+	// CSR bucketing. It must have been built for Cfg.Hierarchy.CPUs.
+	Index *TraceIndex
+}
+
+// batchStride is how many Steps a lane takes before the engine moves to
+// the next lane. Lanes are independent Systems, so any value produces
+// byte-identical results; the stride only trades locality against refill
+// promptness. Each lane drags megabytes of cache-tag state with it, so the
+// stride is sized in the thousands to keep one lane's working set hot
+// across its whole turn instead of ping-ponging tags between lanes every
+// few hundred ticks.
+const batchStride = 8192
+
+// RunBatch advances up to width independent Systems in lockstep through
+// the staged tick loop and returns one Result per job, in job order. Lane
+// state is kept structure-of-arrays (engines and job bindings in parallel
+// slices indexed by lane); a lane whose run completes retires immediately —
+// its Result is recorded and the lane refills from the next pending job
+// without waiting for the rest of the batch. Refilling reuses the lane's
+// System via Reset when the hierarchy matches, so a dense sweep pays the
+// multi-megabyte system construction once per lane instead of once per
+// job.
+//
+// Every lane is a fully independent System, so per-run Results are
+// byte-identical to running each job alone (width 1 IS the one-job-at-a-
+// time path). The first job error aborts the batch, wrapped with the job's
+// index and name; results of jobs that never finished stay zero.
+func RunBatch(jobs []BatchJob, width int) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	if width <= 0 {
+		width = 1
+	}
+	if width > len(jobs) {
+		width = len(jobs)
+	}
+
+	lanes := make([]*System, width) // lane → engine (nil once retired for good)
+	laneJob := make([]int, width)   // lane → index of the job it is running
+	next := 0                       // next unassigned job
+
+	// fill binds the next pending job to lane, recycling the lane's engine
+	// when the cache hierarchy carries over. It reports whether the lane
+	// is live (false: no jobs left, lane retired).
+	fill := func(lane int) (bool, error) {
+		if next >= len(jobs) {
+			lanes[lane] = nil
+			return false, nil
+		}
+		j := next
+		next++
+		bj := &jobs[j]
+		sys := lanes[lane]
+		var err error
+		if sys != nil && sys.Config().Hierarchy == bj.Cfg.Hierarchy {
+			err = sys.Reset(bj.Cfg)
+		} else {
+			sys, err = NewSystem(bj.Cfg)
+		}
+		if err == nil {
+			if bj.Index != nil {
+				err = sys.StartIndexed(bj.Index)
+			} else {
+				err = sys.Start(bj.Accs)
+			}
+		}
+		if err != nil {
+			return false, fmt.Errorf("batch job %d (%s): %w", j, bj.Name, err)
+		}
+		lanes[lane] = sys
+		laneJob[lane] = j
+		return true, nil
+	}
+
+	active := 0
+	for lane := 0; lane < width; lane++ {
+		live, err := fill(lane)
+		if err != nil {
+			return results, err
+		}
+		if live {
+			active++
+		}
+	}
+
+	for active > 0 {
+		for lane := 0; lane < width; lane++ {
+			sys := lanes[lane]
+			if sys == nil {
+				continue
+			}
+			done := false
+			for k := 0; k < batchStride && !done; k++ {
+				var err error
+				done, err = sys.Step()
+				if err != nil {
+					j := laneJob[lane]
+					return results, fmt.Errorf("batch job %d (%s): %w", j, jobs[j].Name, err)
+				}
+			}
+			if !done {
+				continue
+			}
+			res, err := sys.Finish()
+			if err != nil {
+				j := laneJob[lane]
+				return results, fmt.Errorf("batch job %d (%s): %w", j, jobs[j].Name, err)
+			}
+			results[laneJob[lane]] = res
+			live, err := fill(lane)
+			if err != nil {
+				return results, err
+			}
+			if !live {
+				active--
+			}
+		}
+	}
+	return results, nil
+}

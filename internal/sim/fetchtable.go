@@ -37,13 +37,20 @@ const fetchDone = ^uint64(0)
 func fetchHash(line uint64) uint64 { return line * 0x9E3779B97F4A7C15 }
 
 func newFetchTable(capacity int) fetchTable {
+	size := newFetchTableSize(capacity)
+	return fetchTable{slots: make([]fetchSlot, size), mask: uint64(size - 1)}
+}
+
+// newFetchTableSize is the slot count newFetchTable allocates for
+// capacity: a ≤50% load factor at the expected live bound so probe chains
+// stay short even before stale slots are recycled. System.init consults it
+// to decide whether a recycled table is big enough to reuse.
+func newFetchTableSize(capacity int) int {
 	size := 16
-	// Size for a ≤50% load factor at the expected live bound so probe
-	// chains stay short even before stale slots are recycled.
 	for size < capacity*2 {
 		size *= 2
 	}
-	return fetchTable{slots: make([]fetchSlot, size), mask: uint64(size - 1)}
+	return size
 }
 
 // live reports whether the slot still describes an outstanding fill.

@@ -284,16 +284,51 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, err := membackend.New(cfg.Backend, cfg.HMC)
-	if err != nil {
+	s := &System{hierarchy: h}
+	if err := s.init(cfg); err != nil {
 		return nil, err
 	}
-	s := &System{
-		cfg:         cfg,
-		hierarchy:   h,
-		device:      d,
-		outstanding: make([]int, cfg.Hierarchy.CPUs),
-		stall:       make([]uint64, cfg.Hierarchy.CPUs),
+	return s, nil
+}
+
+// Reset returns a finished (or unused) System to the freshly built state
+// for cfg, recycling the cache hierarchy's multi-megabyte tag arrays and
+// the token ring in place instead of rebuilding them through the
+// allocator. cfg must keep the Hierarchy the System was built with;
+// everything else — mode, backend, coalescer tuning, fault plan, checks —
+// may change between runs. A reset System produces byte-identical results
+// to one built fresh from the same cfg: this is what lets the batch engine
+// retire a lane and refill it without paying NewSystem per job.
+func (s *System) Reset(cfg Config) error {
+	cfg = cfg.withMode()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Hierarchy != s.cfg.Hierarchy {
+		return fmt.Errorf("sim: Reset with a different hierarchy (build a fresh System)")
+	}
+	s.hierarchy.Reset()
+	return s.init(cfg)
+}
+
+// init wires every component except the cache hierarchy (built once by
+// NewSystem, reset in place by Reset) and zeroes the run state. The small
+// mutable components — device, coalescer — are rebuilt fresh; the large
+// flat arrays (token ring, fetch table, per-CPU accounting) are reused
+// when their required size is unchanged.
+func (s *System) init(cfg Config) error {
+	d, err := membackend.New(cfg.Backend, cfg.HMC)
+	if err != nil {
+		return err
+	}
+	s.cfg = cfg
+	s.device = d
+	if len(s.outstanding) == cfg.Hierarchy.CPUs {
+		clear(s.outstanding)
+		clear(s.stall)
+	} else {
+		s.outstanding = make([]int, cfg.Hierarchy.CPUs)
+		s.stall = make([]uint64, cfg.Hierarchy.CPUs)
 	}
 	lineBytes := uint64(cfg.Coalescer.LineBytes)
 	c, err := coalescer.New(cfg.Coalescer,
@@ -359,23 +394,44 @@ func NewSystem(cfg Config) (*System, error) {
 			}
 		})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	s.coal = c
 	// Token ring: bounded by the maximum number of simultaneously live
 	// demand misses (MLP budget × CPUs, plus coalescer buffering slack).
+	// The ring length is semantic (token slots are indexed modulo it), so
+	// reuse requires an exact size match.
 	ring := (cfg.MaxOutstanding + cfg.Coalescer.Width + cfg.Coalescer.MSHR.Entries*8) * cfg.Hierarchy.CPUs
-	s.tokenCPU = make([]uint8, ring)
-	s.tokenLine = make([]uint64, ring)
-	// Live fetch-table entries are bounded by the demand-miss budget.
-	s.fetching = newFetchTable(cfg.MaxOutstanding * cfg.Hierarchy.CPUs)
+	if len(s.tokenCPU) == ring {
+		clear(s.tokenCPU)
+		clear(s.tokenLine)
+	} else {
+		s.tokenCPU = make([]uint8, ring)
+		s.tokenLine = make([]uint64, ring)
+	}
+	// Live fetch-table entries are bounded by the demand-miss budget. A
+	// previous run's table can be cleared in place as long as it is at
+	// least as big as a fresh one would be (size only affects probe cost,
+	// never results).
+	if want := newFetchTableSize(cfg.MaxOutstanding * cfg.Hierarchy.CPUs); len(s.fetching.slots) >= want {
+		clear(s.fetching.slots)
+		s.fetching.used = 0
+	} else {
+		s.fetching = newFetchTable(cfg.MaxOutstanding * cfg.Hierarchy.CPUs)
+	}
+	s.nextToken = 0
+	s.pushedTok, s.doneTok, s.failedTok = 0, 0, 0
+	s.runErr = nil
+	s.lastClock = 0
+	s.ts = tickState{}
+	s.check, s.ledger = nil, nil
 	if cfg.Checks {
 		s.check = invariant.New()
 		s.ledger = invariant.NewTokenLedger(ring)
 		s.coal.SetChecker(s.check)
 		s.device.SetChecker(s.check)
 	}
-	return s, nil
+	return nil
 }
 
 // Checker returns the attached invariant checker, or nil when
@@ -390,7 +446,7 @@ func (s *System) Config() Config { return s.cfg }
 // arms the staged tick loop (Start), steps it until the trace has fully
 // issued, and drains the memory system (Finish). The trace must be ordered
 // by tick (as produced by internal/workloads). A System is single-use:
-// build a fresh one per run.
+// build a fresh one per run, or recycle a finished one with Reset.
 //
 // Each Step interleaves two event sources in global time order: the
 // per-CPU access cursors (merged through a heap on effective issue tick)

@@ -45,35 +45,40 @@ type tickState struct {
 
 // Start validates and buckets the trace and arms the tick loop. The trace
 // must be ordered by tick (as produced by internal/workloads). A System is
-// single-use: build a fresh one per run.
+// single-use: build a fresh one per run, or recycle one with Reset.
 func (s *System) Start(accs []trace.Access) error {
 	if s.ts.started {
 		return fmt.Errorf("sim: Start called twice (a System is single-use)")
 	}
-	if len(accs) > 1<<31-1 {
-		return fmt.Errorf("sim: trace too long (%d accesses)", len(accs))
+	// The index stays on the stack: StartIndexed copies its slices into the
+	// tick state and never retains the pointer.
+	var idx TraceIndex
+	if err := idx.init(accs, s.cfg.Hierarchy.CPUs); err != nil {
+		return err
+	}
+	return s.StartIndexed(&idx)
+}
+
+// StartIndexed arms the tick loop over a pre-bucketed trace. The index may
+// be shared read-only by any number of concurrent or sequential runs, so a
+// sweep replaying one trace under several configurations buckets it once
+// (the batch engine's fast path). It must have been built for this
+// system's CPU count.
+func (s *System) StartIndexed(idx *TraceIndex) error {
+	if s.ts.started {
+		return fmt.Errorf("sim: Start called twice (a System is single-use)")
+	}
+	if idx == nil {
+		return fmt.Errorf("sim: StartIndexed with nil index")
 	}
 	cpus := s.cfg.Hierarchy.CPUs
+	if idx.cpus != cpus {
+		return fmt.Errorf("sim: trace index bucketed for %d CPUs, system has %d", idx.cpus, cpus)
+	}
 	ts := &s.ts
-	ts.accs = accs
-	ts.streamOff = make([]int32, cpus+1)
-	for i := range accs {
-		if int(accs[i].CPU) >= cpus {
-			return fmt.Errorf("sim: access from CPU %d, system has %d", accs[i].CPU, cpus)
-		}
-		ts.streamOff[int(accs[i].CPU)+1]++
-	}
-	for c := 0; c < cpus; c++ {
-		ts.streamOff[c+1] += ts.streamOff[c]
-	}
-	ts.streamIdx = make([]int32, len(accs))
-	fill := make([]int32, cpus)
-	copy(fill, ts.streamOff[:cpus])
-	for i := range accs {
-		c := accs[i].CPU
-		ts.streamIdx[fill[c]] = int32(i)
-		fill[c]++
-	}
+	ts.accs = idx.accs
+	ts.streamOff = idx.streamOff
+	ts.streamIdx = idx.streamIdx
 	ts.cursors = make([]cursor, 0, cpus)
 	for cpu := 0; cpu < cpus; cpu++ {
 		if s.streamLen(uint8(cpu)) > 0 {

@@ -51,8 +51,10 @@ type Options struct {
 	// results: one {"job":i,"n":n,"result":…} line per finished job,
 	// appended as jobs complete. Starting a sweep with an existing
 	// checkpoint restores those results by index and only runs the
-	// remainder. Lines from a different grid size and truncated trailing
-	// lines (a crash mid-write) are skipped. The result type must be
+	// remainder. Lines from a different grid size and lines torn by a
+	// crash mid-write are skipped individually — the scan continues past
+	// them — and a job recorded twice (an interrupted write re-appended on
+	// resume) restores its last complete line. The result type must be
 	// JSON round-trippable for restored runs to be byte-identical.
 	Checkpoint string
 	// KeepGoing runs every job even after failures instead of cancelling
@@ -130,9 +132,35 @@ type checkpointLine struct {
 // Options.JobTimeout as a *JobError wrapping context.DeadlineExceeded.
 // Both name the job index, so a grid failure is replayable in isolation.
 func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapBatch(ctx, n, 1, opts, func(ctx context.Context, idxs []int) ([]T, error) {
+		r, err := fn(ctx, idxs[0])
+		if err != nil {
+			return nil, err
+		}
+		return []T{r}, nil
+	})
+}
+
+// MapBatch is Map with the grid handed to fn in batch-aligned groups of
+// up to batch consecutive indices: fn(ctx, idxs) must return one result
+// per index, in order. Workers pull whole groups, so a group is the unit
+// of scheduling (and of JobTimeout and panic attribution — both name the
+// group's first index) while checkpointing and progress remain per job:
+// every completed job appends its own checkpoint line in the same format
+// Map writes, so batched and unbatched sweeps restore from each other's
+// checkpoints, and Options.Progress still counts single jobs.
+//
+// Groups are aligned to batch boundaries of the full grid (restored jobs
+// are filtered out of their group), so a sweep's group membership is a
+// pure function of (n, batch). batch < 1 is treated as 1; Map is exactly
+// MapBatch with batch 1.
+func MapBatch[T any](ctx context.Context, n, batch int, opts Options, fn func(ctx context.Context, idxs []int) ([]T, error)) ([]T, error) {
 	results := make([]T, n)
 	if n == 0 {
 		return results, ctx.Err()
+	}
+	if batch < 1 {
+		batch = 1
 	}
 
 	restored := make([]bool, n)
@@ -152,6 +180,20 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		}
 	}
 
+	// Batch-aligned groups of still-pending indices.
+	var groups [][]int
+	for base := 0; base < n; base += batch {
+		var g []int
+		for i := base; i < base+batch && i < n; i++ {
+			if !restored[i] {
+				g = append(g, i)
+			}
+		}
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -165,11 +207,12 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 			done++
 		}
 	}
-	// finish serializes per-job completion: error aggregation and abort,
-	// checkpoint append, progress. A context.Canceled after the sweep has
-	// already aborted is the cancellation echoing through the remaining
-	// in-flight jobs, not a distinct failure — it is not recorded.
-	finish := func(i int, err error, record func() error) {
+	// finish serializes group completion: error aggregation and abort,
+	// checkpoint append, then one progress tick per job in the group. A
+	// context.Canceled after the sweep has already aborted is the
+	// cancellation echoing through the remaining in-flight groups, not a
+	// distinct failure — it is not recorded.
+	finish := func(jobs int, err error, record func() error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
@@ -191,45 +234,56 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 				return
 			}
 		}
-		done++
-		if opts.Progress != nil {
-			opts.Progress(done, n)
+		for ; jobs > 0; jobs-- {
+			done++
+			if opts.Progress != nil {
+				opts.Progress(done, n)
+			}
 		}
 	}
 
-	jobs := make(chan int)
+	work := make(chan []int)
 	var wg sync.WaitGroup
-	for w := opts.workers(n); w > 0; w-- {
+	for w := opts.workers(len(groups)); w > 0; w-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
+			for g := range work {
 				if ctx.Err() != nil {
 					return
 				}
-				r, err := runJob(ctx, i, opts, fn)
+				rs, err := runGroup(ctx, g, opts, fn)
+				if err == nil && len(rs) != len(g) {
+					err = fmt.Errorf("sweep: group at job %d returned %d results for %d jobs", g[0], len(rs), len(g))
+				}
 				if err != nil {
-					finish(i, err, nil)
+					finish(0, err, nil)
 					continue
 				}
-				results[i] = r
-				finish(i, nil, func() error { return appendCheckpoint(ckpt, i, n, opts.Backend, r) })
+				for k, i := range g {
+					results[i] = rs[k]
+				}
+				finish(len(g), nil, func() error {
+					for k, i := range g {
+						if werr := appendCheckpoint(ckpt, i, n, opts.Backend, rs[k]); werr != nil {
+							return werr
+						}
+					}
+					return nil
+				})
 			}
 		}()
 	}
 
 feed:
-	for i := 0; i < n; i++ {
-		if restored[i] {
-			continue
-		}
+	for _, g := range groups {
 		select {
-		case jobs <- i:
+		case work <- g:
 		case <-ctx.Done():
 			break feed
 		}
 	}
-	close(jobs)
+	close(work)
 	wg.Wait()
 
 	switch len(errs) {
@@ -242,17 +296,19 @@ feed:
 	}
 }
 
-// runJob executes one job with panic recovery and the optional timeout.
-// On timeout the job's goroutine is abandoned — only runJob's caller ever
-// writes the result slot, so a late finisher cannot race the sweep.
-func runJob[T any](ctx context.Context, i int, opts Options, fn func(ctx context.Context, i int) (T, error)) (T, error) {
-	call := func(ctx context.Context) (r T, err error) {
+// runGroup executes one group with panic recovery and the optional
+// timeout. On timeout the group's goroutine is abandoned — only
+// runGroup's caller ever writes result slots, so a late finisher cannot
+// race the sweep. Panics and timeouts are attributed to the group's first
+// job index.
+func runGroup[T any](ctx context.Context, idxs []int, opts Options, fn func(ctx context.Context, idxs []int) ([]T, error)) ([]T, error) {
+	call := func(ctx context.Context) (r []T, err error) {
 		defer func() {
 			if p := recover(); p != nil {
-				err = &PanicError{Job: i, Value: p, Stack: debug.Stack()}
+				err = &PanicError{Job: idxs[0], Value: p, Stack: debug.Stack()}
 			}
 		}()
-		return fn(ctx, i)
+		return fn(ctx, idxs)
 	}
 	if opts.JobTimeout <= 0 {
 		return call(ctx)
@@ -260,10 +316,10 @@ func runJob[T any](ctx context.Context, i int, opts Options, fn func(ctx context
 	tctx, tcancel := context.WithTimeout(ctx, opts.JobTimeout)
 	defer tcancel()
 	type outcome struct {
-		r   T
+		r   []T
 		err error
 	}
-	ch := make(chan outcome, 1) // buffered: an abandoned job's send never blocks
+	ch := make(chan outcome, 1) // buffered: an abandoned group's send never blocks
 	go func() {
 		r, err := call(tctx)
 		ch <- outcome{r, err}
@@ -272,17 +328,23 @@ func runJob[T any](ctx context.Context, i int, opts Options, fn func(ctx context
 	case o := <-ch:
 		return o.r, o.err
 	case <-tctx.Done():
-		var zero T
-		return zero, &JobError{Job: i, Err: tctx.Err()}
+		return nil, &JobError{Job: idxs[0], Err: tctx.Err()}
 	}
 }
 
 // restoreCheckpoint loads completed results from a JSONL checkpoint into
 // results/restored and reports how many were restored. A missing file is
-// an empty checkpoint. Records from a different grid size or backend,
-// out-of-range indices, and undecodable lines (typically a truncated
-// trailing line from a crash mid-append) are skipped, not errors. Legacy
-// lines carry no backend tag and restore only into untagged sweeps.
+// an empty checkpoint. The file is scanned line by line: records from a
+// different grid size or backend, out-of-range indices, and undecodable
+// lines are skipped — and the scan continues past them, so a line torn by
+// a crash mid-append (which a resumed sweep then re-appends after) costs
+// exactly that line, never the rest of the file. Legacy lines carry no
+// backend tag and restore only into untagged sweeps.
+//
+// Duplicate indices are last-wins: when a job appears twice — an
+// interrupted write whose complete record was re-appended on resume — the
+// later, complete line supersedes the earlier one. A job only counts as
+// restored once, and only a line whose payload decodes can supersede.
 func restoreCheckpoint[T any](path string, n int, backend string, results []T, restored []bool) (int, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -292,13 +354,22 @@ func restoreCheckpoint[T any](path string, n int, backend string, results []T, r
 		return 0, fmt.Errorf("sweep: checkpoint: %w", err)
 	}
 	count := 0
-	dec := json.NewDecoder(bytes.NewReader(data))
-	for {
-		var line checkpointLine
-		if err := dec.Decode(&line); err != nil {
-			break // EOF or a truncated/corrupt tail: keep what decoded
+	for len(data) > 0 {
+		var raw []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			raw, data = data[:i], data[i+1:]
+		} else {
+			raw, data = data, nil
 		}
-		if line.N != n || line.Backend != backend || line.Job < 0 || line.Job >= n || restored[line.Job] {
+		raw = bytes.TrimSpace(raw)
+		if len(raw) == 0 {
+			continue
+		}
+		var line checkpointLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			continue // torn or corrupt line: skip it, keep scanning
+		}
+		if line.N != n || line.Backend != backend || line.Job < 0 || line.Job >= n {
 			continue
 		}
 		var r T
@@ -306,8 +377,10 @@ func restoreCheckpoint[T any](path string, n int, backend string, results []T, r
 			continue
 		}
 		results[line.Job] = r
-		restored[line.Job] = true
-		count++
+		if !restored[line.Job] {
+			restored[line.Job] = true
+			count++
+		}
 	}
 	return count, nil
 }

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sync"
 
+	"hmccoal/internal/cache"
 	"hmccoal/internal/metrics"
+	"hmccoal/internal/sim"
 	"hmccoal/internal/sweep"
 )
 
@@ -17,6 +19,13 @@ type SweepOptions struct {
 	// results are byte-identical at any worker count — only wall-clock
 	// changes.
 	Workers int
+	// Batch is the number of simulations one batch engine advances in
+	// lockstep (sim.RunBatch lanes). 0 or 1 keeps the one-job-one-system
+	// path; at K ≥ 2 each worker pulls groups of jobs and runs them on K
+	// reusable lanes, so a dense sweep pays system construction per lane
+	// instead of per job. Results are byte-identical at any batch width —
+	// like Workers, Batch only changes wall-clock.
+	Batch int
 	// Progress, when non-nil, is called after each simulation job
 	// completes with the number of finished jobs and the grid size.
 	// Calls are serialized across workers.
@@ -28,7 +37,9 @@ type SweepOptions struct {
 	Checks bool
 	// Checkpoint, when non-empty, persists each completed job to a JSONL
 	// file so an interrupted sweep resumes without recomputing (see
-	// sweep.Options.Checkpoint). Use a distinct file per sweep grid.
+	// sweep.Options.Checkpoint). Use a distinct file per sweep grid; the
+	// format is per-job, so batched and unbatched sweeps resume from each
+	// other's checkpoints.
 	Checkpoint string
 	// Backend selects the memory device for every simulation of the sweep
 	// (see Config.Backend). The zero value is the default HMC model; its
@@ -53,22 +64,34 @@ func (o SweepOptions) config() Config {
 	return cfg
 }
 
-// traceCell lazily generates one benchmark's trace exactly once and shares
-// the immutable []Access across every simulation job that needs it.
-type traceCell struct {
-	once sync.Once
-	accs []Access
-	err  error
+// batchLaneJobs is how many jobs each batch lane serves on average: a
+// batched sweep hands each engine invocation Batch×batchLaneJobs jobs on
+// Batch lanes, so every lane retires and refills several times — that
+// refill (System.Reset instead of NewSystem) is where the batch engine's
+// throughput comes from. Fresh builds per group equal the lane count, so
+// the reuse fraction is 1-1/batchLaneJobs; eight keeps seven of every
+// eight jobs on recycled systems while a group stays small enough that a
+// failed group forfeits only a modest slice of checkpoint progress.
+const batchLaneJobs = 8
+
+// groupSize is the number of grid jobs handed to one engine invocation.
+func (o SweepOptions) groupSize() int {
+	if o.Batch <= 1 {
+		return 1
+	}
+	return o.Batch * batchLaneJobs
 }
 
-// traceTable builds the per-benchmark lazy trace generators for a sweep.
-func traceTable(names []string, p TraceParams) func(b int) ([]Access, error) {
-	cells := make([]traceCell, len(names))
-	return func(b int) ([]Access, error) {
-		c := &cells[b]
-		c.once.Do(func() { c.accs, c.err = GenerateTrace(names[b], p) })
-		return c.accs, c.err
+// lanes is the lockstep width for a group of n jobs.
+func (o SweepOptions) lanes(n int) int {
+	k := o.Batch
+	if k < 1 {
+		k = 1
 	}
+	if k > n {
+		k = n
+	}
+	return k
 }
 
 // runMode builds a fresh system (sim.System is single-use) and replays the
@@ -86,6 +109,117 @@ func runMode(name string, m Mode, cfg Config, accs []Access) (Result, error) {
 	return res, nil
 }
 
+// traceTable shares each benchmark's lazily generated trace — and its CSR
+// bucketing — across the sweep's jobs, and releases both once the
+// benchmark's last job completes, so a long sweep holds only the traces
+// still in flight instead of pinning every trace it ever generated.
+type traceTable struct {
+	names []string
+	p     TraceParams
+	cpus  int // the simulated systems' CPU count (for the shared index)
+	cells []traceCell
+}
+
+// traceCell is one benchmark's shared trace with its remaining-jobs
+// refcount.
+type traceCell struct {
+	mu      sync.Mutex
+	accs    []Access
+	idx     *TraceIndex
+	err     error
+	built   bool
+	pending int // jobs not yet completed; trace and index drop at 0
+}
+
+// newTraceTable builds the per-benchmark trace cells for a sweep whose
+// grid runs jobsPer jobs against each benchmark's trace.
+func newTraceTable(names []string, p TraceParams, cpus, jobsPer int) *traceTable {
+	t := &traceTable{names: names, p: p, cpus: cpus, cells: make([]traceCell, len(names))}
+	for i := range t.cells {
+		t.cells[i].pending = jobsPer
+	}
+	return t
+}
+
+// get returns benchmark b's trace and shared index, generating both on
+// first use. Distinct benchmarks generate concurrently; same-benchmark
+// callers serialize on the cell.
+func (t *traceTable) get(b int) ([]Access, *TraceIndex, error) {
+	c := &t.cells[b]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.built {
+		c.built = true
+		c.accs, c.err = GenerateTrace(t.names[b], t.p)
+		if c.err == nil {
+			c.idx, c.err = NewTraceIndex(c.accs, t.cpus)
+		}
+	}
+	return c.accs, c.idx, c.err
+}
+
+// done retires one of benchmark b's jobs, dropping the trace and index
+// when the last one completes. Jobs restored from a checkpoint never call
+// done; if no other job of that benchmark runs, its cell was never
+// generated and holds nothing, and if one does, the cell stays resident
+// for the sweep's remainder — no worse than the old always-pinned table.
+func (t *traceTable) done(b int) {
+	c := &t.cells[b]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending--; c.pending == 0 {
+		c.accs, c.idx = nil, nil
+	}
+}
+
+// resident reports whether benchmark b's trace is currently held (test
+// hook for the release contract).
+func (t *traceTable) resident(b int) bool {
+	c := &t.cells[b]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.accs != nil
+}
+
+// simGrid describes one sweep grid of independent simulation jobs: job
+// i's label, shared trace, configuration, the mapping of its Result into
+// the grid's cell type, and an optional per-job completion hook.
+type simGrid[T any] struct {
+	name  func(i int) string
+	trace func(i int) ([]Access, *TraceIndex, error)
+	cfg   func(i int) Config
+	post  func(i int, r Result) T
+	done  func(i int)
+}
+
+// mapSim fans a simulation grid across the worker pool, packing jobs into
+// batch-engine groups per opt.Batch (one job per group when unbatched).
+func mapSim[T any](ctx context.Context, n int, opt SweepOptions, g simGrid[T]) ([]T, error) {
+	return sweep.MapBatch(ctx, n, opt.groupSize(), opt.engine(),
+		func(_ context.Context, idxs []int) ([]T, error) {
+			jobs := make([]BatchJob, len(idxs))
+			for k, i := range idxs {
+				accs, idx, err := g.trace(i)
+				if err != nil {
+					return nil, err
+				}
+				jobs[k] = BatchJob{Name: g.name(i), Cfg: g.cfg(i), Accs: accs, Index: idx}
+			}
+			res, err := RunBatch(jobs, opt.lanes(len(jobs)))
+			if err != nil {
+				return nil, err
+			}
+			out := make([]T, len(idxs))
+			for k, i := range idxs {
+				out[k] = g.post(i, res[k])
+				if g.done != nil {
+					g.done(i)
+				}
+			}
+			return out, nil
+		})
+}
+
 // benchCell is one (benchmark × job-kind) slot of the RunAll grid.
 type benchCell struct {
 	Res Result          `json:"res"`
@@ -100,26 +234,64 @@ var runAllModes = [3]Mode{ModeBaseline, ModeDMCOnly, ModeTwoPhase}
 
 // RunAllContext executes every benchmark under all three architectures on
 // a worker pool, fanning the (benchmark × mode) and (benchmark × payload
-// analysis) jobs across opt.Workers goroutines. Each benchmark's trace is
-// generated once and shared. Results are in figure order regardless of
+// analysis) jobs across opt.Workers goroutines — batched onto shared
+// engine lanes when opt.Batch is set. Each benchmark's trace is generated
+// and CSR-bucketed once, shared by its four jobs, and released when the
+// last of them completes. Results are in figure order regardless of
 // completion order; a cancelled ctx or the first job error aborts the
 // sweep.
 func RunAllContext(ctx context.Context, p TraceParams, opt SweepOptions) ([]BenchmarkRun, error) {
 	names := Benchmarks()
-	trace := traceTable(names, p)
-	cells, err := sweep.Map(ctx, runAllKinds*len(names), opt.engine(),
-		func(_ context.Context, i int) (benchCell, error) {
-			b, kind := i/runAllKinds, i%runAllKinds
-			accs, err := trace(b)
+	tr := newTraceTable(names, p, opt.config().Hierarchy.CPUs, runAllKinds)
+	cells, err := sweep.MapBatch(ctx, runAllKinds*len(names), opt.groupSize(), opt.engine(),
+		func(_ context.Context, idxs []int) ([]benchCell, error) {
+			out := make([]benchCell, len(idxs))
+			// Simulation jobs fill one batch; the payload-analysis kind is
+			// a trace walk, not a timed simulation, and runs directly on a
+			// hierarchy shared (reset per analysis) by the group's payload
+			// jobs, mirroring the lane reuse of the simulation jobs.
+			var jobs []BatchJob
+			var slot []int
+			var payHier *cache.Hierarchy
+			for k, i := range idxs {
+				b, kind := i/runAllKinds, i%runAllKinds
+				accs, idx, err := tr.get(b)
+				if err != nil {
+					return nil, err
+				}
+				if kind == runAllKinds-1 {
+					cfg := opt.config()
+					if payHier == nil {
+						if payHier, err = cache.NewHierarchy(cfg.Hierarchy); err != nil {
+							return nil, err
+						}
+					}
+					pay, err := sim.AnalyzePayloadWith(payHier, accs, cfg.Coalescer.Width)
+					if err != nil {
+						return nil, err
+					}
+					out[k] = benchCell{Pay: pay}
+					continue
+				}
+				cfg := opt.config()
+				cfg.Mode = runAllModes[kind]
+				jobs = append(jobs, BatchJob{
+					Name: fmt.Sprintf("%s/%v", names[b], cfg.Mode),
+					Cfg:  cfg, Accs: accs, Index: idx,
+				})
+				slot = append(slot, k)
+			}
+			res, err := RunBatch(jobs, opt.lanes(len(jobs)))
 			if err != nil {
-				return benchCell{}, err
+				return nil, err
 			}
-			if kind == runAllKinds-1 {
-				pay, err := AnalyzePayload(opt.config(), accs)
-				return benchCell{Pay: pay}, err
+			for k, r := range res {
+				out[slot[k]] = benchCell{Res: r}
 			}
-			res, err := runMode(names[b], runAllModes[kind], opt.config(), accs)
-			return benchCell{Res: res}, err
+			for _, i := range idxs {
+				tr.done(i / runAllKinds)
+			}
+			return out, nil
 		})
 	if err != nil {
 		return nil, err
@@ -138,7 +310,8 @@ func RunAllContext(ctx context.Context, p TraceParams, opt SweepOptions) ([]Benc
 }
 
 // TimeoutSweepContext is TimeoutSweep on a worker pool: the benchmark's
-// trace is generated once and the per-timeout runs fan out in parallel.
+// trace is generated and bucketed once and the per-timeout runs fan out
+// in parallel (batched onto shared lanes when opt.Batch is set).
 func TimeoutSweepContext(ctx context.Context, name string, p TraceParams, timeouts []uint64, opt SweepOptions) ([]float64, error) {
 	if len(timeouts) == 0 {
 		timeouts = defaultTimeouts()
@@ -147,42 +320,44 @@ func TimeoutSweepContext(ctx context.Context, name string, p TraceParams, timeou
 	if err != nil {
 		return nil, err
 	}
-	return sweep.Map(ctx, len(timeouts), opt.engine(),
-		func(_ context.Context, i int) (float64, error) {
+	idx, err := NewTraceIndex(accs, opt.config().Hierarchy.CPUs)
+	if err != nil {
+		return nil, err
+	}
+	return mapSim(ctx, len(timeouts), opt, simGrid[float64]{
+		name:  func(i int) string { return fmt.Sprintf("%s/T=%d", name, timeouts[i]) },
+		trace: func(int) ([]Access, *TraceIndex, error) { return accs, idx, nil },
+		cfg: func(i int) Config {
 			cfg := opt.config()
 			cfg.Coalescer.TimeoutCycles = timeouts[i]
-			res, err := runMode(name, cfg.Mode, cfg, accs)
-			if err != nil {
-				return 0, err
-			}
-			return res.Coalescer.AvgRequestLatencyNs(res.ClockGHz), nil
-		})
+			return cfg
+		},
+		post: func(_ int, r Result) float64 { return r.Coalescer.AvgRequestLatencyNs(r.ClockGHz) },
+	})
 }
 
 // Figure14TableContext renders the timeout sweep for every benchmark,
 // fanning the full (benchmark × timeout) grid across the worker pool with
-// one shared trace per benchmark.
+// one shared trace per benchmark, released as benchmarks complete.
 func Figure14TableContext(ctx context.Context, p TraceParams, timeouts []uint64, opt SweepOptions) (string, error) {
 	if len(timeouts) == 0 {
 		timeouts = defaultTimeouts()
 	}
 	names := Benchmarks()
-	trace := traceTable(names, p)
-	lat, err := sweep.Map(ctx, len(names)*len(timeouts), opt.engine(),
-		func(_ context.Context, i int) (float64, error) {
-			b, t := i/len(timeouts), i%len(timeouts)
-			accs, err := trace(b)
-			if err != nil {
-				return 0, err
-			}
+	tr := newTraceTable(names, p, opt.config().Hierarchy.CPUs, len(timeouts))
+	lat, err := mapSim(ctx, len(names)*len(timeouts), opt, simGrid[float64]{
+		name: func(i int) string {
+			return fmt.Sprintf("%s/T=%d", names[i/len(timeouts)], timeouts[i%len(timeouts)])
+		},
+		trace: func(i int) ([]Access, *TraceIndex, error) { return tr.get(i / len(timeouts)) },
+		cfg: func(i int) Config {
 			cfg := opt.config()
-			cfg.Coalescer.TimeoutCycles = timeouts[t]
-			res, err := runMode(names[b], cfg.Mode, cfg, accs)
-			if err != nil {
-				return 0, err
-			}
-			return res.Coalescer.AvgRequestLatencyNs(res.ClockGHz), nil
-		})
+			cfg.Coalescer.TimeoutCycles = timeouts[i%len(timeouts)]
+			return cfg
+		},
+		post: func(_ int, r Result) float64 { return r.Coalescer.AvgRequestLatencyNs(r.ClockGHz) },
+		done: func(i int) { tr.done(i / len(timeouts)) },
+	})
 	if err != nil {
 		return "", err
 	}
@@ -213,17 +388,21 @@ var speedupModes = [2]Mode{ModeBaseline, ModeTwoPhase}
 // so ddr/ideal runs are comparable against the HMC rows side by side.
 func SpeedupTableContext(ctx context.Context, p TraceParams, opt SweepOptions) (string, error) {
 	names := Benchmarks()
-	trace := traceTable(names, p)
 	nModes := len(speedupModes)
-	cells, err := sweep.Map(ctx, len(names)*nModes, opt.engine(),
-		func(_ context.Context, i int) (Result, error) {
-			b, m := i/nModes, i%nModes
-			accs, err := trace(b)
-			if err != nil {
-				return Result{}, err
-			}
-			return runMode(names[b], speedupModes[m], opt.config(), accs)
-		})
+	tr := newTraceTable(names, p, opt.config().Hierarchy.CPUs, nModes)
+	cells, err := mapSim(ctx, len(names)*nModes, opt, simGrid[Result]{
+		name: func(i int) string {
+			return fmt.Sprintf("%s/%v", names[i/nModes], speedupModes[i%nModes])
+		},
+		trace: func(i int) ([]Access, *TraceIndex, error) { return tr.get(i / nModes) },
+		cfg: func(i int) Config {
+			cfg := opt.config()
+			cfg.Mode = speedupModes[i%nModes]
+			return cfg
+		},
+		post: func(_ int, r Result) Result { return r },
+		done: func(i int) { tr.done(i / nModes) },
+	})
 	if err != nil {
 		return "", err
 	}
@@ -261,16 +440,20 @@ func MSHRSweepContext(ctx context.Context, name string, p TraceParams, entries [
 	if err != nil {
 		return nil, err
 	}
-	return sweep.Map(ctx, len(entries), opt.engine(),
-		func(_ context.Context, i int) (float64, error) {
+	idx, err := NewTraceIndex(accs, opt.config().Hierarchy.CPUs)
+	if err != nil {
+		return nil, err
+	}
+	return mapSim(ctx, len(entries), opt, simGrid[float64]{
+		name:  func(i int) string { return fmt.Sprintf("%s/mshr=%d", name, entries[i]) },
+		trace: func(int) ([]Access, *TraceIndex, error) { return accs, idx, nil },
+		cfg: func(i int) Config {
 			cfg := opt.config()
 			cfg.Coalescer.MSHR.Entries = entries[i]
-			res, err := runMode(name, cfg.Mode, cfg, accs)
-			if err != nil {
-				return 0, err
-			}
-			return res.CoalescingEfficiency(), nil
-		})
+			return cfg
+		},
+		post: func(_ int, r Result) float64 { return r.CoalescingEfficiency() },
+	})
 }
 
 // defaultTimeouts is the Figure 14 sweep grid.
@@ -287,13 +470,20 @@ type FaultSweepRow struct {
 }
 
 // Speedup is the two-phase runtime improvement over the conventional MHA
-// at this error rate.
+// at this error rate. It returns 0 when the row has no baseline data
+// (Baseline.RuntimeCycles == 0); HasData distinguishes that case from a
+// genuine zero speedup.
 func (r FaultSweepRow) Speedup() float64 {
-	if r.Baseline.RuntimeCycles == 0 {
+	if !r.HasData() {
 		return 0
 	}
 	return 1 - float64(r.TwoPhase.RuntimeCycles)/float64(r.Baseline.RuntimeCycles)
 }
+
+// HasData reports whether the row holds actual runs: a zero baseline
+// runtime means the row's simulations never executed (a partially
+// restored or aborted sweep), so ratios over it are meaningless.
+func (r FaultSweepRow) HasData() bool { return r.Baseline.RuntimeCycles != 0 }
 
 // defaultBERs is the fault sweep grid: clean link up to one error per
 // ~10^4 bits.
@@ -307,8 +497,8 @@ func FaultSweep(name string, p TraceParams, seed uint64, bers []float64) ([]Faul
 
 // FaultSweepContext fans the (error rate × mode) grid across the worker
 // pool. Fault decisions are keyed by (seed, link, packet serial), so the
-// rows are byte-identical at any worker count. A nil bers uses the default
-// grid.
+// rows are byte-identical at any worker count and batch width. A nil bers
+// uses the default grid.
 func FaultSweepContext(ctx context.Context, name string, p TraceParams, seed uint64, bers []float64, opt SweepOptions) ([]FaultSweepRow, error) {
 	if len(bers) == 0 {
 		bers = defaultBERs()
@@ -317,15 +507,25 @@ func FaultSweepContext(ctx context.Context, name string, p TraceParams, seed uin
 	if err != nil {
 		return nil, err
 	}
+	idx, err := NewTraceIndex(accs, opt.config().Hierarchy.CPUs)
+	if err != nil {
+		return nil, err
+	}
 	nModes := len(runAllModes)
-	cells, err := sweep.Map(ctx, len(bers)*nModes, opt.engine(),
-		func(_ context.Context, i int) (Result, error) {
-			b, m := i/nModes, i%nModes
+	cells, err := mapSim(ctx, len(bers)*nModes, opt, simGrid[Result]{
+		name: func(i int) string {
+			return fmt.Sprintf("%s/ber=%g/%v", name, bers[i/nModes], runAllModes[i%nModes])
+		},
+		trace: func(int) ([]Access, *TraceIndex, error) { return accs, idx, nil },
+		cfg: func(i int) Config {
 			cfg := opt.config()
 			cfg.HMC.Fault.Seed = seed
-			cfg.HMC.Fault.BER = bers[b]
-			return runMode(name, runAllModes[m], cfg, accs)
-		})
+			cfg.HMC.Fault.BER = bers[i/nModes]
+			cfg.Mode = runAllModes[i%nModes]
+			return cfg
+		},
+		post: func(_ int, r Result) Result { return r },
+	})
 	if err != nil {
 		return nil, err
 	}
