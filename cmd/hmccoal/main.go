@@ -13,6 +13,12 @@
 //	hmccoal -run FT -backend ideal   # one benchmark, one summary
 //	hmccoal -run FT -snapshot-at 1000000 # snapshot/restore mid-run, same summary
 //	hmccoal -list                    # list the benchmarks
+//	hmccoal -fig all -serve :7333    # distribute the sweeps to hmcsweepd workers
+//
+// With -serve the process coordinates instead of simulating: it listens
+// for hmcsweepd worker connections and ships sweep job groups to them
+// (see internal/dsweep). The printed figures are byte-identical to a
+// local run — only where the simulations execute changes.
 //
 // Exit codes: 0 success, 1 usage/configuration error, 2 simulation or
 // invariant-check failure.
@@ -24,11 +30,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"hmccoal"
+	"hmccoal/internal/dsweep"
 	"hmccoal/internal/profiling"
 	"hmccoal/internal/trace"
 )
@@ -75,12 +85,23 @@ func run(argv []string) int {
 		runBench   = fs.String("run", "", "run one benchmark once (two-phase) and print its summary; combines with -backend, -faults and -snapshot-at")
 		snapshotAt = fs.Uint64("snapshot-at", 0, "with -run: snapshot at this tick, restore into a fresh system, and finish from the snapshot — the summary is byte-identical to the uninterrupted run")
 		faults     = fs.String("faults", "", "with -run: link fault injection (hmc backend only), e.g. seed=1,ber=1e-6[,drop=1e-7][,retries=3]")
+		serve      = fs.String("serve", "", "coordinate distributed sweeps: listen on this TCP address and ship sweep job groups to hmcsweepd workers instead of simulating locally")
+		lease      = fs.Duration("lease", dsweep.DefaultLease, "with -serve: a worker silent this long after taking a job group is presumed dead and the group is requeued")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return exitUsage
+	}
+	if *workers < 0 {
+		return usageErr(fmt.Errorf("-workers must be ≥ 0, got %d", *workers))
+	}
+	if *batch < 0 {
+		return usageErr(fmt.Errorf("-batch must be ≥ 0, got %d", *batch))
+	}
+	if *lease <= 0 {
+		return usageErr(fmt.Errorf("-lease must be positive, got %v", *lease))
 	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile, *exectrace)
@@ -89,12 +110,25 @@ func run(argv []string) int {
 	}
 	defer stopProf()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM drains like Ctrl-C: sweeps stop at the next group boundary
+	// with every completed job checkpointed, and a serving coordinator
+	// stops handing out groups.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	kind, err := hmccoal.ParseBackend(*backend)
 	if err != nil {
 		return usageErr(err)
+	}
+
+	var dispatch hmccoal.Dispatcher
+	if *serve != "" {
+		coord, err := serveCoordinator(*serve, *lease)
+		if err != nil {
+			return usageErr(err)
+		}
+		defer coord.Close()
+		dispatch = coord
 	}
 
 	if *runBench != "" {
@@ -156,7 +190,9 @@ func run(argv []string) int {
 	}
 
 	opts := func(tag string) hmccoal.SweepOptions {
-		return sweepOptions(*workers, *batch, *checks, *checkpoint, tag, kind)
+		opt := sweepOptions(*workers, *batch, *checks, *checkpoint, tag, kind)
+		opt.Dispatch = dispatch
+		return opt
 	}
 
 	if need("1") {
@@ -404,6 +440,27 @@ func sweepOptions(workers, batch int, checks bool, checkpoint, tag string, backe
 		opt.Checkpoint = checkpoint + "." + tag
 	}
 	return opt
+}
+
+// serveCoordinator starts the distributed-sweep coordinator on addr and
+// announces the bound address on stderr (":0" binds an ephemeral port, so
+// scripts parse the announcement). The coordinator's chatter — worker
+// connects, losses, requeues — also goes to stderr, keeping stdout
+// byte-identical to a local run.
+func serveCoordinator(addr string, lease time.Duration) (*dsweep.Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-serve: %w", err)
+	}
+	coord := dsweep.NewCoordinator(dsweep.Options{
+		Lease: lease,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hmccoal: "+format+"\n", args...)
+		},
+	})
+	go coord.Serve(ln)
+	fmt.Fprintf(os.Stderr, "hmccoal: coordinating sweeps on %s\n", ln.Addr())
+	return coord, nil
 }
 
 // validBenchmark rejects names that are not in the benchmark suite.

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestFlagValidation pins the usage exit code for malformed parallelism
+// and distribution flags: negatives must be rejected up front, not fed to
+// the sweep engine.
+func TestFlagValidation(t *testing.T) {
+	for name, argv := range map[string][]string{
+		"negative workers": {"-workers", "-1", "-list"},
+		"negative batch":   {"-batch", "-4", "-list"},
+		"zero lease":       {"-lease", "0s", "-list"},
+		"negative lease":   {"-lease", "-1m", "-list"},
+		"bad serve addr":   {"-serve", "no-such-host-xyz:0:0", "-list"},
+		"unknown figure":   {"-fig", "99"},
+		"unknown backend":  {"-backend", "sram", "-list"},
+	} {
+		if code := run(argv); code != exitUsage {
+			t.Errorf("%s (%v): exit %d, want %d", name, argv, code, exitUsage)
+		}
+	}
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("-list: exit %d, want 0", code)
+	}
+}

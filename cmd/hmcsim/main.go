@@ -62,6 +62,12 @@ func run(argv []string) int {
 		}
 		return exitUsage
 	}
+	if *workers < 0 {
+		return usageErr(fmt.Errorf("-workers must be ≥ 0, got %d", *workers))
+	}
+	if *batch < 0 {
+		return usageErr(fmt.Errorf("-batch must be ≥ 0, got %d", *batch))
+	}
 
 	faultCfg, err := fault.ParseFlag(*faults)
 	if err != nil {

@@ -55,6 +55,11 @@ func run(argv []string) int {
 		return exitUsage
 	}
 
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "hmcsoak: -workers must be ≥ 0, got %d\n", *workers)
+		return exitUsage
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+// TestFlagValidation pins the usage exit code for malformed soak flags.
+func TestFlagValidation(t *testing.T) {
+	for name, argv := range map[string][]string{
+		"negative workers": {"-workers", "-3", "-runs", "1"},
+		"zero runs":        {"-runs", "0"},
+		"negative runs":    {"-runs", "-5"},
+		"bad backend":      {"-backend", "sram", "-runs", "1"},
+	} {
+		if code := run(argv); code != exitUsage {
+			t.Errorf("%s (%v): exit %d, want %d", name, argv, code, exitUsage)
+		}
+	}
+}

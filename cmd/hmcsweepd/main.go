@@ -1,0 +1,101 @@
+// Command hmcsweepd is a distributed-sweep worker: it connects to an
+// hmccoal coordinator (hmccoal -serve), pulls sweep job groups over the
+// dsweep wire protocol, runs the simulations locally and streams the
+// results back. Start any number of workers on any machines that can
+// reach the coordinator; work-stealing dispatch balances the grid across
+// them, and the coordinator's printed figures stay byte-identical to a
+// local run.
+//
+// Usage:
+//
+//	hmcsweepd -connect host:7333              # one worker, all cores
+//	hmcsweepd -connect host:7333 -slots 2     # two concurrent job groups
+//	hmcsweepd -connect host:7333 -name rack7  # named in coordinator logs
+//
+// The worker exits 0 when the coordinator drains it (sweep finished) and
+// on a graceful SIGINT/SIGTERM drain: a job group already running is
+// finished and its result delivered before the process leaves, so
+// stopping a worker never loses completed simulations — the coordinator
+// requeues only groups lost to a real crash.
+//
+// Exit codes: 0 clean drain, 1 usage/configuration error, 2 worker
+// failure (coordinator unreachable, protocol mismatch, transport loss).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"hmccoal"
+	"hmccoal/internal/dsweep"
+)
+
+const (
+	exitUsage = 1
+	exitRun   = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("hmcsweepd", flag.ContinueOnError)
+	var (
+		connect   = fs.String("connect", "", "coordinator address (host:port) to pull sweep job groups from (required)")
+		name      = fs.String("name", "", "worker name in coordinator logs (default host/pid)")
+		slots     = fs.Int("slots", 0, "job groups run concurrently (0 = one per core)")
+		dialRetry = fs.Duration("dial-retry", dsweep.DefaultDialRetry, "how long to keep retrying the initial coordinator dial (workers may start first)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return exitUsage
+	}
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "hmcsweepd: -connect is required")
+		return exitUsage
+	}
+	if *slots < 0 {
+		fmt.Fprintf(os.Stderr, "hmcsweepd: -slots must be ≥ 0, got %d\n", *slots)
+		return exitUsage
+	}
+	if *dialRetry <= 0 {
+		fmt.Fprintf(os.Stderr, "hmcsweepd: -dial-retry must be positive, got %v\n", *dialRetry)
+		return exitUsage
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s/%d", host, os.Getpid())
+	}
+	if *slots == 0 {
+		*slots = runtime.GOMAXPROCS(0)
+	}
+
+	// SIGINT/SIGTERM drain gracefully: a running job group finishes and
+	// reports before the worker disconnects.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "hmcsweepd: %s pulling from %s (%d slots)\n", *name, *connect, *slots)
+	err := dsweep.Work(ctx, *connect, hmccoal.NewSweepRunner(), dsweep.WorkOptions{
+		Name:      *name,
+		Slots:     *slots,
+		DialRetry: *dialRetry,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmcsweepd:", err)
+		return exitRun
+	}
+	return 0
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestFlagValidation pins the usage exit code for malformed worker flags:
+// a worker with no coordinator or nonsensical concurrency must refuse to
+// start rather than spin.
+func TestFlagValidation(t *testing.T) {
+	for name, argv := range map[string][]string{
+		"missing connect":     {},
+		"negative slots":      {"-connect", "x:1", "-slots", "-1"},
+		"zero dial retry":     {"-connect", "x:1", "-dial-retry", "0s"},
+		"negative dial retry": {"-connect", "x:1", "-dial-retry", "-5s"},
+	} {
+		if code := run(argv); code != exitUsage {
+			t.Errorf("%s (%v): exit %d, want %d", name, argv, code, exitUsage)
+		}
+	}
+}

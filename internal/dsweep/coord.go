@@ -1,0 +1,399 @@
+package dsweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Options tunes a Coordinator.
+type Options struct {
+	// Lease bounds how long a worker may hold one job group: a worker
+	// silent for Lease after receiving a group is presumed dead, its
+	// connection is closed and the group is requeued for the surviving
+	// workers. Zero means DefaultLease. Set it above the worst-case group
+	// run time — a healthy-but-slow worker that blows the lease has its
+	// group recomputed elsewhere (correct, but wasted work).
+	Lease time.Duration
+	// MaxAttempts caps how many workers may be lost on one group before
+	// the group is failed instead of requeued, so a group that reliably
+	// crashes its host cannot starve the sweep forever. Zero means
+	// DefaultMaxAttempts.
+	MaxAttempts int
+	// Logf, when non-nil, receives coordinator lifecycle chatter (worker
+	// connects, losses, requeues). It must be safe for concurrent use.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for Options.
+const (
+	DefaultLease       = 2 * time.Minute
+	DefaultMaxAttempts = 3
+)
+
+func (o Options) lease() time.Duration {
+	if o.Lease <= 0 {
+		return DefaultLease
+	}
+	return o.Lease
+}
+
+func (o Options) maxAttempts() int {
+	if o.MaxAttempts <= 0 {
+		return DefaultMaxAttempts
+	}
+	return o.MaxAttempts
+}
+
+// groupOutcome is one group's terminal state.
+type groupOutcome struct {
+	cells []json.RawMessage
+	err   error
+}
+
+// group is one enqueued job group. Its lifecycle is queued → leased →
+// settled, with leased → queued again on every worker loss (requeue).
+type group struct {
+	id       uint64
+	spec     []byte
+	idxs     []int
+	attempts int  // workers lost while holding this group
+	settled  bool // outcome delivered (or caller gone); late outcomes are discarded
+	done     chan groupOutcome
+}
+
+// Coordinator owns a distributed sweep's pending job groups and serves
+// them to worker connections with work-stealing dispatch: every Ready
+// worker pulls the oldest pending group, so fast workers naturally take
+// more of the grid. It implements the sweep layer's Dispatcher contract —
+// RunGroup blocks until some worker completes the group, across any
+// number of requeues.
+//
+// A Coordinator is safe for concurrent use; one instance serves all of a
+// process's sweeps in sequence (grid identity travels inside the opaque
+// spec, so interleaved grids cannot be confused).
+type Coordinator struct {
+	opt Options
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*group // pending groups; requeues go to the front
+	nextID    uint64
+	closed    bool
+	listeners []net.Listener
+	workers   int            // handshaked worker connections
+	handlers  sync.WaitGroup // live Handle calls, for the Close drain
+}
+
+// NewCoordinator builds a Coordinator with the given options.
+func NewCoordinator(opt Options) *Coordinator {
+	c := &Coordinator{opt: opt}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opt.Logf != nil {
+		c.opt.Logf(format, args...)
+	}
+}
+
+// Workers reports the number of handshaked worker connections.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workers
+}
+
+// Serve accepts worker connections on ln until the coordinator is
+// closed, handling each in its own goroutine. It returns nil once Close
+// shuts the listener down.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		ln.Close()
+		return errors.New("dsweep: coordinator closed")
+	}
+	c.listeners = append(c.listeners, ln)
+	c.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("dsweep: accept: %w", err)
+		}
+		go c.Handle(conn)
+	}
+}
+
+// closeDrainGrace bounds how long Close waits for worker connections to
+// drain their goodbye. Healthy workers Bye within a round-trip; the grace
+// only matters when one is hung or mid-group, and forfeiting its farewell
+// then is fine — any group it held was already requeued or settled.
+const closeDrainGrace = 5 * time.Second
+
+// Close shuts the coordinator down: listeners close, still-queued groups
+// (and their blocked RunGroup callers) fail with a closed-coordinator
+// error, and worker connections drain through the protocol — each
+// handler's next take returns nil, so the worker gets a clean Bye rather
+// than a connection reset. Close waits up to closeDrainGrace for the
+// handlers to finish that farewell, then returns regardless.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	queued := c.queue
+	c.queue = nil
+	lns := c.listeners
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	for _, g := range queued {
+		c.deliver(g, groupOutcome{err: errors.New("dsweep: coordinator closed")})
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		c.handlers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(closeDrainGrace):
+		c.logf("dsweep: close: gave up waiting for worker connections to drain")
+	}
+	return nil
+}
+
+// RunGroup enqueues one job group and blocks until a worker completes it
+// (across any number of requeues) or ctx is cancelled. It is the sweep
+// layer's remote dispatcher: spec is the opaque JSON grid description,
+// idxs the grid indices to execute, and the result is one JSON cell per
+// index, in index order.
+func (c *Coordinator) RunGroup(ctx context.Context, spec []byte, idxs []int) ([]json.RawMessage, error) {
+	g := &group{spec: spec, idxs: idxs, done: make(chan groupOutcome, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("dsweep: coordinator closed")
+	}
+	c.nextID++
+	g.id = c.nextID
+	c.queue = append(c.queue, g)
+	c.cond.Signal()
+	c.mu.Unlock()
+
+	select {
+	case o := <-g.done:
+		return o.cells, o.err
+	case <-ctx.Done():
+		// Settle the group so a late worker outcome is discarded; if it
+		// is still queued, pull it before any worker wastes time on it.
+		c.mu.Lock()
+		if !g.settled {
+			g.settled = true
+			c.dequeueLocked(g)
+		}
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// dequeueLocked removes g from the pending queue if present.
+func (c *Coordinator) dequeueLocked(g *group) {
+	for i, q := range c.queue {
+		if q == g {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// deliver settles g with its outcome; late outcomes (after a lease
+// requeue already settled the group elsewhere, or after the caller's ctx
+// cancelled) are discarded.
+func (c *Coordinator) deliver(g *group, o groupOutcome) {
+	c.mu.Lock()
+	if g.settled {
+		c.mu.Unlock()
+		return
+	}
+	g.settled = true
+	c.mu.Unlock()
+	g.done <- o
+}
+
+// requeue returns a group forfeited by a lost worker to the front of the
+// queue — front, so a long-queued group does not also go to the back of
+// the line — failing it once MaxAttempts workers have been lost on it.
+func (c *Coordinator) requeue(g *group, cause error) {
+	c.mu.Lock()
+	if g.settled || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	g.attempts++
+	if g.attempts >= c.opt.maxAttempts() {
+		c.mu.Unlock()
+		c.deliver(g, groupOutcome{err: fmt.Errorf("dsweep: group %d lost %d workers (last: %v)", g.id, g.attempts, cause)})
+		return
+	}
+	c.queue = append([]*group{g}, c.queue...)
+	c.cond.Signal()
+	c.mu.Unlock()
+	c.logf("dsweep: requeued group %d after worker loss (%v)", g.id, cause)
+}
+
+// take blocks until a pending group is available and leases it to the
+// caller; it returns nil once the coordinator is closed.
+func (c *Coordinator) take() *group {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) == 0 && !c.closed {
+		c.cond.Wait()
+	}
+	if c.closed {
+		return nil
+	}
+	g := c.queue[0]
+	c.queue = c.queue[1:]
+	return g
+}
+
+// Handle serves one worker connection until it drains, errors out or
+// blows a lease. Serve calls it for every accepted connection; tests may
+// drive it directly over an in-memory pipe.
+func (c *Coordinator) Handle(conn net.Conn) {
+	c.handlers.Add(1)
+	defer c.handlers.Done()
+	defer conn.Close()
+
+	name, err := c.serveWorker(conn)
+	c.mu.Lock()
+	if name != "" {
+		c.workers--
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	if err != nil && !closed {
+		c.logf("dsweep: worker %s: %v", name, err)
+	}
+}
+
+// serveWorker runs the coordinator side of the protocol on one
+// connection: handshake, then Ready→Job→Result rounds until the worker
+// disconnects or the queue closes. Any transport or protocol failure
+// while a group is leased requeues the group.
+func (c *Coordinator) serveWorker(conn net.Conn) (string, error) {
+	lease := c.opt.lease()
+
+	// Handshake, bounded by the lease so a silent connection cannot pin
+	// the handler forever.
+	conn.SetReadDeadline(time.Now().Add(lease))
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		return "", fmt.Errorf("hello: %w", err)
+	}
+	var hello helloMsg
+	if typ != MsgHello {
+		return "", fmt.Errorf("expected hello, got %v", typ)
+	}
+	if err := decodeMsg(typ, payload, &hello); err != nil {
+		return "", err
+	}
+	if hello.Proto != protoVersion {
+		writeMsg(conn, MsgBye, nil)
+		return "", fmt.Errorf("worker %q speaks protocol %d, want %d", hello.Name, hello.Proto, protoVersion)
+	}
+	if err := writeMsg(conn, MsgHello, helloMsg{Proto: protoVersion, Name: "coordinator"}); err != nil {
+		return "", fmt.Errorf("hello reply: %w", err)
+	}
+	c.mu.Lock()
+	c.workers++
+	c.mu.Unlock()
+	c.logf("dsweep: worker %s connected", hello.Name)
+
+	for {
+		// Wait for the worker to pull work; an idle worker may sit here
+		// arbitrarily long, so no deadline applies.
+		conn.SetReadDeadline(time.Time{})
+		typ, _, err := ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return hello.Name, nil // worker drained and left
+			}
+			return hello.Name, fmt.Errorf("ready: %w", err)
+		}
+		if typ != MsgReady {
+			return hello.Name, fmt.Errorf("expected ready, got %v", typ)
+		}
+
+		g := c.take()
+		if g == nil {
+			writeMsg(conn, MsgBye, nil)
+			return hello.Name, nil
+		}
+		if err := writeMsg(conn, MsgJob, jobMsg{ID: g.id, Spec: g.spec, Idxs: g.idxs}); err != nil {
+			c.requeue(g, fmt.Errorf("send to %s: %w", hello.Name, err))
+			return hello.Name, fmt.Errorf("job: %w", err)
+		}
+
+		// The lease: the worker must produce the group's outcome within
+		// the deadline or it is presumed dead and the group is requeued.
+		conn.SetReadDeadline(time.Now().Add(lease))
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			c.requeue(g, fmt.Errorf("worker %s: %w", hello.Name, err))
+			return hello.Name, fmt.Errorf("group %d: %w", g.id, err)
+		}
+		switch typ {
+		case MsgResult:
+			var res resultMsg
+			if err := decodeMsg(typ, payload, &res); err != nil {
+				c.requeue(g, err)
+				return hello.Name, err
+			}
+			if res.ID != g.id {
+				err := fmt.Errorf("result for group %d while %d is leased", res.ID, g.id)
+				c.requeue(g, err)
+				return hello.Name, err
+			}
+			if len(res.Cells) != len(g.idxs) {
+				// A malformed result is a worker bug, not a crash: fail
+				// the group rather than recompute the same bug elsewhere.
+				c.deliver(g, groupOutcome{err: fmt.Errorf("dsweep: worker %s returned %d cells for %d jobs", hello.Name, len(res.Cells), len(g.idxs))})
+				continue
+			}
+			c.deliver(g, groupOutcome{cells: res.Cells})
+		case MsgFail:
+			var fail failMsg
+			if err := decodeMsg(typ, payload, &fail); err != nil {
+				c.requeue(g, err)
+				return hello.Name, err
+			}
+			// Job errors are deterministic; requeueing would repeat them.
+			c.deliver(g, groupOutcome{err: fmt.Errorf("dsweep: worker %s: %s", hello.Name, fail.Error)})
+		default:
+			err := fmt.Errorf("expected result, got %v", typ)
+			c.requeue(g, err)
+			return hello.Name, err
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package dsweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startCoordinator serves a test coordinator on an ephemeral port.
+func startCoordinator(t *testing.T, opt Options) (*Coordinator, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(opt)
+	go c.Serve(ln)
+	t.Cleanup(func() { c.Close() })
+	return c, ln.Addr().String()
+}
+
+// echoRunner returns one cell per index holding the index itself, so the
+// test can verify order and coverage end to end.
+func echoRunner(calls *atomic.Int64) GroupRunner {
+	return func(_ context.Context, spec []byte, idxs []int) ([]json.RawMessage, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		cells := make([]json.RawMessage, len(idxs))
+		for k, i := range idxs {
+			cells[k] = json.RawMessage(fmt.Sprintf(`{"idx":%d,"spec":%s}`, i, spec))
+		}
+		return cells, nil
+	}
+}
+
+// rawWorker speaks the wire protocol by hand, so tests can misbehave in
+// ways the real Work loop never would.
+type rawWorker struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+func dialRaw(t *testing.T, addr string, proto int) *rawWorker {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if err := writeMsg(conn, MsgHello, helloMsg{Proto: proto, Name: "raw"}); err != nil {
+		t.Fatal(err)
+	}
+	return &rawWorker{t: t, conn: conn}
+}
+
+// expect reads one frame and asserts its type.
+func (w *rawWorker) expect(typ MsgType) []byte {
+	w.t.Helper()
+	w.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, payload, err := ReadFrame(w.conn)
+	if err != nil {
+		w.t.Fatalf("expecting %v: %v", typ, err)
+	}
+	if got != typ {
+		w.t.Fatalf("expected %v, got %v", typ, got)
+	}
+	return payload
+}
+
+// takeJob completes the handshake if needed, pulls one job and returns it.
+func (w *rawWorker) takeJob() jobMsg {
+	w.t.Helper()
+	if err := writeMsg(w.conn, MsgReady, nil); err != nil {
+		w.t.Fatal(err)
+	}
+	var job jobMsg
+	if err := decodeMsg(MsgJob, w.expect(MsgJob), &job); err != nil {
+		w.t.Fatal(err)
+	}
+	return job
+}
+
+func runGroup(t *testing.T, c *Coordinator, idxs []int) []json.RawMessage {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cells, err := c.RunGroup(ctx, []byte(`{"kind":"test"}`), idxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+func TestCoordinatorRoundTrip(t *testing.T) {
+	c, addr := startCoordinator(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- Work(ctx, addr, echoRunner(nil), WorkOptions{Name: "w", Slots: 2}) }()
+
+	// Several groups in flight at once exercise the work-stealing pull.
+	type res struct {
+		idxs  []int
+		cells []json.RawMessage
+	}
+	results := make(chan res, 3)
+	for g := 0; g < 3; g++ {
+		idxs := []int{g * 10, g*10 + 1}
+		go func() { results <- res{idxs, runGroup(t, c, idxs)} }()
+	}
+	for g := 0; g < 3; g++ {
+		r := <-results
+		if len(r.cells) != len(r.idxs) {
+			t.Fatalf("group %v: %d cells", r.idxs, len(r.cells))
+		}
+		for k, i := range r.idxs {
+			var cell struct {
+				Idx int `json:"idx"`
+			}
+			if err := json.Unmarshal(r.cells[k], &cell); err != nil || cell.Idx != i {
+				t.Fatalf("cell %d: %s (%v), want idx %d", k, r.cells[k], err, i)
+			}
+		}
+	}
+
+	// Cancelling the worker context drains it cleanly.
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("worker drain: %v", err)
+	}
+}
+
+func TestWorkerCrashRequeues(t *testing.T) {
+	c, addr := startCoordinator(t, Options{})
+
+	// The victim takes the group and crashes (connection drops mid-lease).
+	victim := dialRaw(t, addr, protoVersion)
+	victim.expect(MsgHello)
+	result := make(chan []json.RawMessage, 1)
+	go func() { result <- runGroup(t, c, []int{4, 5, 6}) }()
+	job := victim.takeJob()
+	if len(job.Idxs) != 3 {
+		t.Fatalf("job idxs %v", job.Idxs)
+	}
+	victim.conn.Close()
+
+	// A healthy worker picks the requeued group up and completes it.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	go Work(ctx, addr, echoRunner(&calls), WorkOptions{Name: "healthy"})
+
+	cells := <-result
+	if len(cells) != 3 {
+		t.Fatalf("requeued group returned %d cells", len(cells))
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("healthy worker ran the group %d times", calls.Load())
+	}
+}
+
+func TestLeaseTimeoutRequeues(t *testing.T) {
+	c, addr := startCoordinator(t, Options{Lease: 50 * time.Millisecond})
+
+	// The slow worker takes the group and goes silent without dying.
+	slow := dialRaw(t, addr, protoVersion)
+	slow.expect(MsgHello)
+	result := make(chan []json.RawMessage, 1)
+	go func() { result <- runGroup(t, c, []int{7}) }()
+	slow.takeJob() // never answers
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go Work(ctx, addr, echoRunner(nil), WorkOptions{Name: "healthy"})
+
+	if cells := <-result; len(cells) != 1 {
+		t.Fatalf("leased-out group returned %d cells", len(cells))
+	}
+}
+
+func TestJobErrorFailsWithoutRequeue(t *testing.T) {
+	c, addr := startCoordinator(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	go Work(ctx, addr, func(context.Context, []byte, []int) ([]json.RawMessage, error) {
+		calls.Add(1)
+		return nil, errors.New("deterministic sim failure")
+	}, WorkOptions{Name: "failing"})
+
+	rctx, rcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer rcancel()
+	_, err := c.RunGroup(rctx, []byte(`{}`), []int{0})
+	if err == nil || !strings.Contains(err.Error(), "deterministic sim failure") {
+		t.Fatalf("want the job error, got %v", err)
+	}
+	// The error is final: the group must not bounce to another attempt.
+	time.Sleep(50 * time.Millisecond)
+	if calls.Load() != 1 {
+		t.Fatalf("failed group ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestMaxAttemptsFailsGroup(t *testing.T) {
+	c, addr := startCoordinator(t, Options{MaxAttempts: 2})
+	result := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := c.RunGroup(ctx, []byte(`{}`), []int{0})
+		result <- err
+	}()
+	// Two consecutive workers crash on the same group.
+	for i := 0; i < 2; i++ {
+		w := dialRaw(t, addr, protoVersion)
+		w.expect(MsgHello)
+		w.takeJob()
+		w.conn.Close()
+	}
+	err := <-result
+	if err == nil || !strings.Contains(err.Error(), "lost 2 workers") {
+		t.Fatalf("want a lost-workers failure, got %v", err)
+	}
+}
+
+func TestRunGroupContextCancel(t *testing.T) {
+	c, _ := startCoordinator(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.RunGroup(ctx, []byte(`{}`), []int{0}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The cancelled group must not linger for the next worker.
+	c.mu.Lock()
+	queued := len(c.queue)
+	c.mu.Unlock()
+	if queued != 0 {
+		t.Fatalf("%d groups still queued after cancellation", queued)
+	}
+}
+
+func TestProtocolVersionMismatch(t *testing.T) {
+	_, addr := startCoordinator(t, Options{})
+	w := dialRaw(t, addr, protoVersion+1)
+	w.expect(MsgBye)
+}
+
+func TestCloseFailsQueuedGroups(t *testing.T) {
+	c, _ := startCoordinator(t, Options{})
+	result := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := c.RunGroup(ctx, []byte(`{}`), []int{0})
+		result <- err
+	}()
+	// Wait until the group is queued, then shut down.
+	for {
+		c.mu.Lock()
+		n := len(c.queue)
+		c.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	err := <-result
+	if err == nil || !strings.Contains(err.Error(), "coordinator closed") {
+		t.Fatalf("want a closed-coordinator failure, got %v", err)
+	}
+	if _, err := c.RunGroup(context.Background(), []byte(`{}`), []int{0}); err == nil {
+		t.Fatal("RunGroup after Close succeeded")
+	}
+}
+
+func TestGracefulDrainDeliversRunningGroup(t *testing.T) {
+	c, addr := startCoordinator(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- Work(ctx, addr, func(_ context.Context, spec []byte, idxs []int) ([]json.RawMessage, error) {
+			close(started)
+			// The cancellation lands while this group is running; the drain
+			// contract says the result is still computed and delivered.
+			time.Sleep(100 * time.Millisecond)
+			return echoRunner(nil)(context.Background(), spec, idxs)
+		}, WorkOptions{Name: "draining"})
+	}()
+
+	result := make(chan []json.RawMessage, 1)
+	go func() { result <- runGroup(t, c, []int{9}) }()
+	<-started
+	cancel() // SIGTERM mid-group
+
+	if cells := <-result; len(cells) != 1 {
+		t.Fatalf("drained group returned %d cells", len(cells))
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("graceful drain returned %v", err)
+	}
+}
+
+func TestWorkDialFailure(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Nothing listens here; the dial budget must expire with an error.
+	err := Work(ctx, "127.0.0.1:1", echoRunner(nil), WorkOptions{Name: "w", DialRetry: 100 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Work reached a dead address")
+	}
+}

@@ -1,0 +1,63 @@
+package dsweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// protoVersion is the handshake protocol version, distinct from the frame
+// version: the frame layer rejects byte-level skew, the hello rejects
+// semantic skew (message meanings, job payload contract).
+const protoVersion = 1
+
+// helloMsg opens a connection in both directions.
+type helloMsg struct {
+	Proto int    `json:"proto"`
+	Name  string `json:"name"`
+}
+
+// jobMsg ships one sweep job group: the opaque, JSON-encoded sweep spec
+// (the grid's pure description — the worker reconstructs configs and
+// traces from it) plus the grid indices to execute.
+type jobMsg struct {
+	ID   uint64          `json:"id"`
+	Spec json.RawMessage `json:"spec"`
+	Idxs []int           `json:"idxs"`
+}
+
+// resultMsg returns a completed group: one JSON-encoded cell per index,
+// in index order.
+type resultMsg struct {
+	ID    uint64            `json:"id"`
+	Cells []json.RawMessage `json:"cells"`
+}
+
+// failMsg reports a group whose execution failed. The coordinator fails
+// the group without requeueing it: job errors are deterministic, so
+// another worker would only reproduce them.
+type failMsg struct {
+	ID    uint64 `json:"id"`
+	Error string `json:"error"`
+}
+
+// writeMsg JSON-encodes one message body into a frame and writes it. A
+// nil body writes an empty payload (bare signals: Ready, Bye).
+func writeMsg(w io.Writer, typ MsgType, body any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("dsweep: encode %v: %w", typ, err)
+		}
+	}
+	return WriteFrame(w, typ, payload)
+}
+
+// decodeMsg parses a frame payload into the expected message body.
+func decodeMsg(typ MsgType, payload []byte, body any) error {
+	if err := json.Unmarshal(payload, body); err != nil {
+		return fmt.Errorf("dsweep: decode %v: %w", typ, err)
+	}
+	return nil
+}

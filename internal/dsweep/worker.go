@@ -1,0 +1,212 @@
+package dsweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// GroupRunner executes one sweep job group on the worker: spec is the
+// opaque JSON grid description the coordinator shipped, idxs the grid
+// indices to run, and the result is one JSON-encoded cell per index, in
+// index order. An error fails the group on the coordinator without a
+// requeue, so runners should return errors only for deterministic
+// failures — and let genuine crashes crash.
+type GroupRunner func(ctx context.Context, spec []byte, idxs []int) ([]json.RawMessage, error)
+
+// WorkOptions tunes a worker process.
+type WorkOptions struct {
+	// Name identifies the worker in coordinator logs.
+	Name string
+	// Slots is the number of job groups the worker runs concurrently,
+	// each on its own connection (the coordinator treats every connection
+	// as an independent work-stealing puller). 0 means 1.
+	Slots int
+	// DialRetry is the budget for reaching the coordinator: the initial
+	// dial is retried with backoff until it succeeds or this much time
+	// passes, so workers may be launched before the coordinator's
+	// listener is up. 0 means DefaultDialRetry.
+	DialRetry time.Duration
+}
+
+// DefaultDialRetry is the default coordinator dial budget.
+const DefaultDialRetry = 10 * time.Second
+
+func (o WorkOptions) slots() int {
+	if o.Slots < 1 {
+		return 1
+	}
+	return o.Slots
+}
+
+func (o WorkOptions) dialRetry() time.Duration {
+	if o.DialRetry <= 0 {
+		return DefaultDialRetry
+	}
+	return o.DialRetry
+}
+
+// Work runs a sweep worker against the coordinator at addr until the
+// coordinator drains it (Bye or a clean close) or ctx is cancelled.
+// Cancellation drains gracefully: a group already running is finished
+// and its result delivered before the slot disconnects — SIGTERM never
+// forfeits completed work. It returns nil on a clean drain and the first
+// slot failure otherwise.
+func Work(ctx context.Context, addr string, run GroupRunner, opt WorkOptions) error {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for s := 0; s < opt.slots(); s++ {
+		name := opt.Name
+		if opt.slots() > 1 {
+			name = fmt.Sprintf("%s/%d", opt.Name, s)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := workSlot(ctx, addr, run, name, opt.dialRetry()); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// workSlot runs one pull loop: dial, handshake, then Ready→Job→Result
+// rounds until drained.
+func workSlot(ctx context.Context, addr string, run GroupRunner, name string, dialRetry time.Duration) error {
+	conn, err := dial(ctx, addr, dialRetry)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	// busy is 0 while the slot waits for a job; cancellation then closes
+	// the connection to unblock the read. While a group is running the
+	// connection stays up so the finished result can still be delivered.
+	var busy atomic.Bool
+	stop := context.AfterFunc(ctx, func() {
+		if !busy.Load() {
+			conn.Close()
+		}
+	})
+	defer stop()
+
+	if err := writeMsg(conn, MsgHello, helloMsg{Proto: protoVersion, Name: name}); err != nil {
+		return fmt.Errorf("dsweep: hello: %w", err)
+	}
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		return fmt.Errorf("dsweep: hello reply: %w", err)
+	}
+	var hello helloMsg
+	if typ == MsgBye {
+		return fmt.Errorf("dsweep: coordinator rejected the handshake (protocol %d)", protoVersion)
+	}
+	if typ != MsgHello {
+		return fmt.Errorf("dsweep: expected hello reply, got %v", typ)
+	}
+	if err := decodeMsg(typ, payload, &hello); err != nil {
+		return err
+	}
+	if hello.Proto != protoVersion {
+		return fmt.Errorf("dsweep: coordinator speaks protocol %d, want %d", hello.Proto, protoVersion)
+	}
+
+	for {
+		if ctx.Err() != nil {
+			return nil // graceful drain: stop pulling, leave quietly
+		}
+		if err := writeMsg(conn, MsgReady, nil); err != nil {
+			return drainErr(ctx, fmt.Errorf("dsweep: ready: %w", err))
+		}
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // coordinator finished and closed the stream
+			}
+			return drainErr(ctx, fmt.Errorf("dsweep: pull: %w", err))
+		}
+		switch typ {
+		case MsgBye:
+			return nil
+		case MsgJob:
+			var job jobMsg
+			if err := decodeMsg(typ, payload, &job); err != nil {
+				return err
+			}
+			// The group itself runs to completion even under
+			// cancellation (graceful drain): context.WithoutCancel keeps
+			// the runner's ctx values without its deadline.
+			busy.Store(true)
+			cells, rerr := run(context.WithoutCancel(ctx), job.Spec, job.Idxs)
+			busy.Store(false)
+			if ctx.Err() != nil {
+				// Cancelled mid-group: deliver the finished result, then
+				// drain. The AfterFunc already ran, so re-arm is moot —
+				// just send and exit.
+				defer conn.Close()
+			}
+			if rerr != nil {
+				err = writeMsg(conn, MsgFail, failMsg{ID: job.ID, Error: rerr.Error()})
+			} else {
+				err = writeMsg(conn, MsgResult, resultMsg{ID: job.ID, Cells: cells})
+			}
+			if err != nil {
+				return fmt.Errorf("dsweep: report group %d: %w", job.ID, err)
+			}
+		default:
+			return fmt.Errorf("dsweep: expected job, got %v", typ)
+		}
+	}
+}
+
+// drainErr maps transport errors that raced a graceful drain (the
+// cancellation handler closed the connection under us) to a clean exit.
+func drainErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return err
+}
+
+// dial reaches the coordinator, retrying with backoff within the budget
+// so worker processes may start before the coordinator's listener is up.
+func dial(ctx context.Context, addr string, budget time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
+	delay := 50 * time.Millisecond
+	for {
+		d := net.Dialer{Deadline: deadline}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if time.Now().Add(delay).After(deadline) {
+			return nil, fmt.Errorf("dsweep: dial %s: %w", addr, err)
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}

@@ -62,6 +62,12 @@ type Options struct {
 	// the returned error; soak harnesses use this to collect every
 	// violation in a grid rather than just the first.
 	KeepGoing bool
+	// Remote marks a sweep whose groups block on external executors (a
+	// distributed dispatcher) instead of computing locally. The pool is
+	// then sized to keep every executor fed — one goroutine per pending
+	// group, capped — rather than to the local core count, which would
+	// starve a many-worker cluster from a small coordinator machine.
+	Remote bool
 	// Backend tags every checkpoint line with the sweep's memory backend;
 	// on restore, lines carrying a different tag are skipped so a ddr
 	// sweep never resumes from hmc results. The empty tag is the legacy
@@ -94,9 +100,30 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("sweep: job %d panicked: %v", e.Job, e.Value)
 }
 
-// workers resolves the effective pool size for n jobs.
+// remotePoolCap bounds the dispatch goroutines of a Remote sweep: enough
+// in-flight groups to saturate any plausible worker fleet, small enough
+// that a huge grid does not spawn a goroutine per group up front.
+const remotePoolCap = 1024
+
+// workers resolves the effective pool size for n groups.
 func (o Options) workers(n int) int {
 	w := o.Workers
+	if o.Remote {
+		// Dispatch goroutines only block on the network; offer every
+		// pending group concurrently (up to the cap) so work-stealing
+		// executors are never starved, regardless of local core count. An
+		// explicit Workers still bounds the in-flight groups.
+		if w <= 0 || w > n {
+			w = n
+		}
+		if w > remotePoolCap {
+			w = remotePoolCap
+		}
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
@@ -264,12 +291,7 @@ func MapBatch[T any](ctx context.Context, n, batch int, opts Options, fn func(ct
 					results[i] = rs[k]
 				}
 				finish(len(g), nil, func() error {
-					for k, i := range g {
-						if werr := appendCheckpoint(ckpt, i, n, opts.Backend, rs[k]); werr != nil {
-							return werr
-						}
-					}
-					return nil
+					return appendCheckpoint(ckpt, g, n, opts.Backend, rs)
 				})
 			}
 		}()
@@ -385,23 +407,30 @@ func restoreCheckpoint[T any](path string, n int, backend string, results []T, r
 	return count, nil
 }
 
-// appendCheckpoint writes one completed job to the checkpoint, or does
-// nothing when checkpointing is off.
-func appendCheckpoint[T any](f *os.File, i, n int, backend string, r T) error {
+// appendCheckpoint writes one completed group's jobs to the checkpoint as
+// a single unbuffered Write — one JSONL line per job, write-through, so a
+// group recorded by finish is on disk before the sweep moves on. There is
+// no deferred flush to lose: cancellation (or a crash) after a group's
+// append costs nothing, and mid-append it tears at most the final line,
+// which restore skips. Does nothing when checkpointing is off.
+func appendCheckpoint[T any](f *os.File, idxs []int, n int, backend string, rs []T) error {
 	if f == nil {
 		return nil
 	}
-	raw, err := json.Marshal(r)
-	if err != nil {
-		return fmt.Errorf("sweep: checkpoint job %d: %w", i, err)
+	var buf []byte
+	for k, i := range idxs {
+		raw, err := json.Marshal(rs[k])
+		if err != nil {
+			return fmt.Errorf("sweep: checkpoint job %d: %w", i, err)
+		}
+		line, err := json.Marshal(checkpointLine{Job: i, N: n, Backend: backend, Result: raw})
+		if err != nil {
+			return fmt.Errorf("sweep: checkpoint job %d: %w", i, err)
+		}
+		buf = append(append(buf, line...), '\n')
 	}
-	buf, err := json.Marshal(checkpointLine{Job: i, N: n, Backend: backend, Result: raw})
-	if err != nil {
-		return fmt.Errorf("sweep: checkpoint job %d: %w", i, err)
-	}
-	buf = append(buf, '\n')
 	if _, err := f.Write(buf); err != nil {
-		return fmt.Errorf("sweep: checkpoint job %d: %w", i, err)
+		return fmt.Errorf("sweep: checkpoint group at job %d: %w", idxs[0], err)
 	}
 	return nil
 }

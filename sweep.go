@@ -2,12 +2,11 @@ package hmccoal
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 
-	"hmccoal/internal/cache"
 	"hmccoal/internal/metrics"
-	"hmccoal/internal/sim"
 	"hmccoal/internal/sweep"
 )
 
@@ -46,22 +45,35 @@ type SweepOptions struct {
 	// checkpoint lines stay untagged, so pre-backend checkpoints keep
 	// resuming (sweep.Options.Backend).
 	Backend BackendKind
+	// Dispatch, when non-nil, ships every job group to external executors
+	// instead of running it in-process — the distributed sweep path (see
+	// Dispatcher and internal/dsweep). Workers then bounds in-flight
+	// groups rather than local simulation goroutines; checkpointing,
+	// progress and result assembly are unchanged, and the output stays
+	// byte-identical to the in-process run.
+	Dispatch Dispatcher
 }
 
 func (o SweepOptions) engine() sweep.Options {
-	opt := sweep.Options{Workers: o.Workers, Progress: o.Progress, Checkpoint: o.Checkpoint}
+	opt := sweep.Options{
+		Workers:    o.Workers,
+		Progress:   o.Progress,
+		Checkpoint: o.Checkpoint,
+		Remote:     o.Dispatch != nil,
+	}
 	if o.Backend != BackendHMC {
 		opt.Backend = o.Backend.String()
 	}
 	return opt
 }
 
-// config is DefaultConfig with the sweep-wide toggles applied.
-func (o SweepOptions) config() Config {
-	cfg := DefaultConfig()
-	cfg.Checks = o.Checks
-	cfg.Backend = o.Backend
-	return cfg
+// spec is the serializable description of one of this option set's grids.
+func (o SweepOptions) spec(kind SweepKind, p TraceParams) SweepSpec {
+	s := SweepSpec{Kind: kind, Params: p, Checks: o.Checks, Batch: o.Batch}
+	if o.Backend != BackendHMC {
+		s.Backend = o.Backend.String()
+	}
+	return s
 }
 
 // batchLaneJobs is how many jobs each batch lane serves on average: a
@@ -71,27 +83,17 @@ func (o SweepOptions) config() Config {
 // throughput comes from. Fresh builds per group equal the lane count, so
 // the reuse fraction is 1-1/batchLaneJobs; eight keeps seven of every
 // eight jobs on recycled systems while a group stays small enough that a
-// failed group forfeits only a modest slice of checkpoint progress.
+// failed group forfeits only a modest slice of checkpoint progress — and,
+// distributed, a lost worker forfeits only one group's recompute.
 const batchLaneJobs = 8
 
-// groupSize is the number of grid jobs handed to one engine invocation.
+// groupSize is the number of grid jobs handed to one engine invocation —
+// local batch group or remote dispatch unit alike.
 func (o SweepOptions) groupSize() int {
 	if o.Batch <= 1 {
 		return 1
 	}
 	return o.Batch * batchLaneJobs
-}
-
-// lanes is the lockstep width for a group of n jobs.
-func (o SweepOptions) lanes(n int) int {
-	k := o.Batch
-	if k < 1 {
-		k = 1
-	}
-	if k > n {
-		k = n
-	}
-	return k
 }
 
 // runMode builds a fresh system (sim.System is single-use) and replays the
@@ -181,49 +183,57 @@ func (t *traceTable) resident(b int) bool {
 	return c.accs != nil
 }
 
-// simGrid describes one sweep grid of independent simulation jobs: job
-// i's label, shared trace, configuration, the mapping of its Result into
-// the grid's cell type, and an optional per-job completion hook.
-type simGrid[T any] struct {
-	name  func(i int) string
-	trace func(i int) ([]Access, *TraceIndex, error)
-	cfg   func(i int) Config
-	post  func(i int, r Result) T
-	done  func(i int)
-}
-
-// mapSim fans a simulation grid across the worker pool, packing jobs into
-// batch-engine groups per opt.Batch (one job per group when unbatched).
-func mapSim[T any](ctx context.Context, n int, opt SweepOptions, g simGrid[T]) ([]T, error) {
-	return sweep.MapBatch(ctx, n, opt.groupSize(), opt.engine(),
-		func(_ context.Context, idxs []int) ([]T, error) {
-			jobs := make([]BatchJob, len(idxs))
-			for k, i := range idxs {
-				accs, idx, err := g.trace(i)
+// mapSpec fans a sweep grid across the engine. In-process, each group of
+// grid indices runs through runSpecGroup on traces shared (and released)
+// by a refcounted table; with opt.Dispatch set, the same groups ship to
+// remote executors as (spec, indices) pairs and come back as JSON cells.
+// Either way post maps each cell to the driver's own type on the calling
+// process — so the checkpoint format, the progress cadence and the final
+// output are identical across local, batched and distributed runs.
+func mapSpec[T any](ctx context.Context, spec SweepSpec, opt SweepOptions, post func(i int, c SweepCell) T) ([]T, error) {
+	g, err := spec.compile()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Dispatch != nil {
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			return nil, fmt.Errorf("hmccoal: encode sweep spec: %w", err)
+		}
+		return sweep.MapBatch(ctx, g.n(), opt.groupSize(), opt.engine(),
+			func(ctx context.Context, idxs []int) ([]T, error) {
+				cells, err := opt.Dispatch.RunGroup(ctx, raw, idxs)
 				if err != nil {
 					return nil, err
 				}
-				jobs[k] = BatchJob{Name: g.name(i), Cfg: g.cfg(i), Accs: accs, Index: idx}
-			}
-			res, err := RunBatch(jobs, opt.lanes(len(jobs)))
+				if len(cells) != len(idxs) {
+					return nil, fmt.Errorf("hmccoal: dispatcher returned %d cells for %d jobs", len(cells), len(idxs))
+				}
+				out := make([]T, len(idxs))
+				for k, i := range idxs {
+					var c SweepCell
+					if err := json.Unmarshal(cells[k], &c); err != nil {
+						return nil, fmt.Errorf("hmccoal: decode cell %d: %w", i, err)
+					}
+					out[k] = post(i, c)
+				}
+				return out, nil
+			})
+	}
+	tr := newTraceTable(g.benches, spec.Params, g.base.Hierarchy.CPUs, g.perBench)
+	return sweep.MapBatch(ctx, g.n(), opt.groupSize(), opt.engine(),
+		func(_ context.Context, idxs []int) ([]T, error) {
+			cells, err := runSpecGroup(g, spec.Batch, idxs, tr.get)
 			if err != nil {
 				return nil, err
 			}
 			out := make([]T, len(idxs))
 			for k, i := range idxs {
-				out[k] = g.post(i, res[k])
-				if g.done != nil {
-					g.done(i)
-				}
+				out[k] = post(i, cells[k])
+				tr.done(i / g.perBench)
 			}
 			return out, nil
 		})
-}
-
-// benchCell is one (benchmark × job-kind) slot of the RunAll grid.
-type benchCell struct {
-	Res Result          `json:"res"`
-	Pay PayloadAnalysis `json:"pay"`
 }
 
 // The RunAll grid runs four independent jobs per benchmark: the three
@@ -235,64 +245,17 @@ var runAllModes = [3]Mode{ModeBaseline, ModeDMCOnly, ModeTwoPhase}
 // RunAllContext executes every benchmark under all three architectures on
 // a worker pool, fanning the (benchmark × mode) and (benchmark × payload
 // analysis) jobs across opt.Workers goroutines — batched onto shared
-// engine lanes when opt.Batch is set. Each benchmark's trace is generated
-// and CSR-bucketed once, shared by its four jobs, and released when the
-// last of them completes. Results are in figure order regardless of
-// completion order; a cancelled ctx or the first job error aborts the
+// engine lanes when opt.Batch is set, or shipped to distributed workers
+// when opt.Dispatch is. Each benchmark's trace is generated and
+// CSR-bucketed once per process, shared by its four jobs, and released
+// when the last of them completes. Results are in figure order regardless
+// of completion order; a cancelled ctx or the first job error aborts the
 // sweep.
 func RunAllContext(ctx context.Context, p TraceParams, opt SweepOptions) ([]BenchmarkRun, error) {
 	names := Benchmarks()
-	tr := newTraceTable(names, p, opt.config().Hierarchy.CPUs, runAllKinds)
-	cells, err := sweep.MapBatch(ctx, runAllKinds*len(names), opt.groupSize(), opt.engine(),
-		func(_ context.Context, idxs []int) ([]benchCell, error) {
-			out := make([]benchCell, len(idxs))
-			// Simulation jobs fill one batch; the payload-analysis kind is
-			// a trace walk, not a timed simulation, and runs directly on a
-			// hierarchy shared (reset per analysis) by the group's payload
-			// jobs, mirroring the lane reuse of the simulation jobs.
-			var jobs []BatchJob
-			var slot []int
-			var payHier *cache.Hierarchy
-			for k, i := range idxs {
-				b, kind := i/runAllKinds, i%runAllKinds
-				accs, idx, err := tr.get(b)
-				if err != nil {
-					return nil, err
-				}
-				if kind == runAllKinds-1 {
-					cfg := opt.config()
-					if payHier == nil {
-						if payHier, err = cache.NewHierarchy(cfg.Hierarchy); err != nil {
-							return nil, err
-						}
-					}
-					pay, err := sim.AnalyzePayloadWith(payHier, accs, cfg.Coalescer.Width)
-					if err != nil {
-						return nil, err
-					}
-					out[k] = benchCell{Pay: pay}
-					continue
-				}
-				cfg := opt.config()
-				cfg.Mode = runAllModes[kind]
-				jobs = append(jobs, BatchJob{
-					Name: fmt.Sprintf("%s/%v", names[b], cfg.Mode),
-					Cfg:  cfg, Accs: accs, Index: idx,
-				})
-				slot = append(slot, k)
-			}
-			res, err := RunBatch(jobs, opt.lanes(len(jobs)))
-			if err != nil {
-				return nil, err
-			}
-			for k, r := range res {
-				out[slot[k]] = benchCell{Res: r}
-			}
-			for _, i := range idxs {
-				tr.done(i / runAllKinds)
-			}
-			return out, nil
-		})
+	spec := opt.spec(SweepRunAll, p)
+	spec.Benches = names
+	cells, err := mapSpec(ctx, spec, opt, func(_ int, c SweepCell) SweepCell { return c })
 	if err != nil {
 		return nil, err
 	}
@@ -309,6 +272,11 @@ func RunAllContext(ctx context.Context, p TraceParams, opt SweepOptions) ([]Benc
 	return runs, nil
 }
 
+// latencyCell maps a sweep cell to the timeout sweeps' metric.
+func latencyCell(_ int, c SweepCell) float64 {
+	return c.Res.Coalescer.AvgRequestLatencyNs(c.Res.ClockGHz)
+}
+
 // TimeoutSweepContext is TimeoutSweep on a worker pool: the benchmark's
 // trace is generated and bucketed once and the per-timeout runs fan out
 // in parallel (batched onto shared lanes when opt.Batch is set).
@@ -316,24 +284,9 @@ func TimeoutSweepContext(ctx context.Context, name string, p TraceParams, timeou
 	if len(timeouts) == 0 {
 		timeouts = defaultTimeouts()
 	}
-	accs, err := GenerateTrace(name, p)
-	if err != nil {
-		return nil, err
-	}
-	idx, err := NewTraceIndex(accs, opt.config().Hierarchy.CPUs)
-	if err != nil {
-		return nil, err
-	}
-	return mapSim(ctx, len(timeouts), opt, simGrid[float64]{
-		name:  func(i int) string { return fmt.Sprintf("%s/T=%d", name, timeouts[i]) },
-		trace: func(int) ([]Access, *TraceIndex, error) { return accs, idx, nil },
-		cfg: func(i int) Config {
-			cfg := opt.config()
-			cfg.Coalescer.TimeoutCycles = timeouts[i]
-			return cfg
-		},
-		post: func(_ int, r Result) float64 { return r.Coalescer.AvgRequestLatencyNs(r.ClockGHz) },
-	})
+	spec := opt.spec(SweepTimeout, p)
+	spec.Bench, spec.Timeouts = name, timeouts
+	return mapSpec(ctx, spec, opt, latencyCell)
 }
 
 // Figure14TableContext renders the timeout sweep for every benchmark,
@@ -344,20 +297,9 @@ func Figure14TableContext(ctx context.Context, p TraceParams, timeouts []uint64,
 		timeouts = defaultTimeouts()
 	}
 	names := Benchmarks()
-	tr := newTraceTable(names, p, opt.config().Hierarchy.CPUs, len(timeouts))
-	lat, err := mapSim(ctx, len(names)*len(timeouts), opt, simGrid[float64]{
-		name: func(i int) string {
-			return fmt.Sprintf("%s/T=%d", names[i/len(timeouts)], timeouts[i%len(timeouts)])
-		},
-		trace: func(i int) ([]Access, *TraceIndex, error) { return tr.get(i / len(timeouts)) },
-		cfg: func(i int) Config {
-			cfg := opt.config()
-			cfg.Coalescer.TimeoutCycles = timeouts[i%len(timeouts)]
-			return cfg
-		},
-		post: func(_ int, r Result) float64 { return r.Coalescer.AvgRequestLatencyNs(r.ClockGHz) },
-		done: func(i int) { tr.done(i / len(timeouts)) },
-	})
+	spec := opt.spec(SweepFig14, p)
+	spec.Benches, spec.Timeouts = names, timeouts
+	lat, err := mapSpec(ctx, spec, opt, latencyCell)
 	if err != nil {
 		return "", err
 	}
@@ -389,20 +331,9 @@ var speedupModes = [2]Mode{ModeBaseline, ModeTwoPhase}
 func SpeedupTableContext(ctx context.Context, p TraceParams, opt SweepOptions) (string, error) {
 	names := Benchmarks()
 	nModes := len(speedupModes)
-	tr := newTraceTable(names, p, opt.config().Hierarchy.CPUs, nModes)
-	cells, err := mapSim(ctx, len(names)*nModes, opt, simGrid[Result]{
-		name: func(i int) string {
-			return fmt.Sprintf("%s/%v", names[i/nModes], speedupModes[i%nModes])
-		},
-		trace: func(i int) ([]Access, *TraceIndex, error) { return tr.get(i / nModes) },
-		cfg: func(i int) Config {
-			cfg := opt.config()
-			cfg.Mode = speedupModes[i%nModes]
-			return cfg
-		},
-		post: func(_ int, r Result) Result { return r },
-		done: func(i int) { tr.done(i / nModes) },
-	})
+	spec := opt.spec(SweepSpeedup, p)
+	spec.Benches = names
+	cells, err := mapSpec(ctx, spec, opt, func(_ int, c SweepCell) Result { return c.Res })
 	if err != nil {
 		return "", err
 	}
@@ -436,24 +367,9 @@ func MSHRSweepContext(ctx context.Context, name string, p TraceParams, entries [
 	if len(entries) == 0 {
 		entries = []int{8, 16, 32, 64}
 	}
-	accs, err := GenerateTrace(name, p)
-	if err != nil {
-		return nil, err
-	}
-	idx, err := NewTraceIndex(accs, opt.config().Hierarchy.CPUs)
-	if err != nil {
-		return nil, err
-	}
-	return mapSim(ctx, len(entries), opt, simGrid[float64]{
-		name:  func(i int) string { return fmt.Sprintf("%s/mshr=%d", name, entries[i]) },
-		trace: func(int) ([]Access, *TraceIndex, error) { return accs, idx, nil },
-		cfg: func(i int) Config {
-			cfg := opt.config()
-			cfg.Coalescer.MSHR.Entries = entries[i]
-			return cfg
-		},
-		post: func(_ int, r Result) float64 { return r.CoalescingEfficiency() },
-	})
+	spec := opt.spec(SweepMSHR, p)
+	spec.Bench, spec.Entries = name, entries
+	return mapSpec(ctx, spec, opt, func(_ int, c SweepCell) float64 { return c.Res.CoalescingEfficiency() })
 }
 
 // defaultTimeouts is the Figure 14 sweep grid.
@@ -503,29 +419,10 @@ func FaultSweepContext(ctx context.Context, name string, p TraceParams, seed uin
 	if len(bers) == 0 {
 		bers = defaultBERs()
 	}
-	accs, err := GenerateTrace(name, p)
-	if err != nil {
-		return nil, err
-	}
-	idx, err := NewTraceIndex(accs, opt.config().Hierarchy.CPUs)
-	if err != nil {
-		return nil, err
-	}
 	nModes := len(runAllModes)
-	cells, err := mapSim(ctx, len(bers)*nModes, opt, simGrid[Result]{
-		name: func(i int) string {
-			return fmt.Sprintf("%s/ber=%g/%v", name, bers[i/nModes], runAllModes[i%nModes])
-		},
-		trace: func(int) ([]Access, *TraceIndex, error) { return accs, idx, nil },
-		cfg: func(i int) Config {
-			cfg := opt.config()
-			cfg.HMC.Fault.Seed = seed
-			cfg.HMC.Fault.BER = bers[i/nModes]
-			cfg.Mode = runAllModes[i%nModes]
-			return cfg
-		},
-		post: func(_ int, r Result) Result { return r },
-	})
+	spec := opt.spec(SweepFault, p)
+	spec.Bench, spec.BERs, spec.Seed = name, bers, seed
+	cells, err := mapSpec(ctx, spec, opt, func(_ int, c SweepCell) Result { return c.Res })
 	if err != nil {
 		return nil, err
 	}
