@@ -14,11 +14,14 @@
 //	hmccoal -run FT -snapshot-at 1000000 # snapshot/restore mid-run, same summary
 //	hmccoal -list                    # list the benchmarks
 //	hmccoal -fig all -serve :7333    # distribute the sweeps to hmcsweepd workers
+//	hmccoal -fig all -serve :7333 -token secret # only authenticated workers
 //
 // With -serve the process coordinates instead of simulating: it listens
 // for hmcsweepd worker connections and ships sweep job groups to them
 // (see internal/dsweep). The printed figures are byte-identical to a
-// local run — only where the simulations execute changes.
+// local run — only where the simulations execute changes. SIGUSR1 prints
+// a status snapshot (queue depth, leases, per-worker throughput, auth
+// rejects, reconnects) to stderr.
 //
 // Exit codes: 0 success, 1 usage/configuration error, 2 simulation or
 // invariant-check failure.
@@ -35,10 +38,10 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
-	"time"
 
 	"hmccoal"
 	"hmccoal/internal/dsweep"
+	"hmccoal/internal/netchaos"
 	"hmccoal/internal/profiling"
 	"hmccoal/internal/trace"
 )
@@ -76,17 +79,20 @@ func run(argv []string) int {
 		replay  = fs.String("trace", "", "replay a binary trace file (from tracegen/rvsim) instead of running the benchmark suite")
 		asJSON  = fs.Bool("json", false, "with -trace: emit the full results as JSON")
 
-		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
-		exectrace  = fs.String("exectrace", "", "write a runtime execution trace to this file (-trace is taken by replay)")
-		checks     = fs.Bool("checks", false, "enable the runtime invariant checker in every simulation (results identical; violations become errors)")
-		checkpoint = fs.String("checkpoint", "", "JSONL checkpoint base path: each sweep persists completed jobs to <base>.<sweep> and resumes from it")
-		backend    = fs.String("backend", "hmc", "memory backend behind the coalescer: hmc, ddr or ideal")
-		runBench   = fs.String("run", "", "run one benchmark once (two-phase) and print its summary; combines with -backend, -faults and -snapshot-at")
-		snapshotAt = fs.Uint64("snapshot-at", 0, "with -run: snapshot at this tick, restore into a fresh system, and finish from the snapshot — the summary is byte-identical to the uninterrupted run")
-		faults     = fs.String("faults", "", "with -run: link fault injection (hmc backend only), e.g. seed=1,ber=1e-6[,drop=1e-7][,retries=3]")
-		serve      = fs.String("serve", "", "coordinate distributed sweeps: listen on this TCP address and ship sweep job groups to hmcsweepd workers instead of simulating locally")
-		lease      = fs.Duration("lease", dsweep.DefaultLease, "with -serve: a worker silent this long after taking a job group is presumed dead and the group is requeued")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write an allocation profile to this file on exit")
+		exectrace   = fs.String("exectrace", "", "write a runtime execution trace to this file (-trace is taken by replay)")
+		checks      = fs.Bool("checks", false, "enable the runtime invariant checker in every simulation (results identical; violations become errors)")
+		checkpoint  = fs.String("checkpoint", "", "JSONL checkpoint base path: each sweep persists completed jobs to <base>.<sweep> and resumes from it")
+		backend     = fs.String("backend", "hmc", "memory backend behind the coalescer: hmc, ddr or ideal")
+		runBench    = fs.String("run", "", "run one benchmark once (two-phase) and print its summary; combines with -backend, -faults and -snapshot-at")
+		snapshotAt  = fs.Uint64("snapshot-at", 0, "with -run: snapshot at this tick, restore into a fresh system, and finish from the snapshot — the summary is byte-identical to the uninterrupted run")
+		faults      = fs.String("faults", "", "with -run: link fault injection (hmc backend only), e.g. seed=1,ber=1e-6[,drop=1e-7][,retries=3]")
+		serve       = fs.String("serve", "", "coordinate distributed sweeps: listen on this TCP address and ship sweep job groups to hmcsweepd workers instead of simulating locally")
+		lease       = fs.Duration("lease", dsweep.DefaultLease, "with -serve: a worker silent this long after taking a job group is presumed dead and the group is requeued")
+		token       = fs.String("token", "", "with -serve: shared secret workers must present in their handshake (empty accepts any worker)")
+		maxAttempts = fs.Int("max-attempts", dsweep.DefaultMaxAttempts, "with -serve: workers that may be lost on one job group before the group fails")
+		chaos       = fs.String("chaos", "", "with -serve: deterministic network-fault injection on worker connections, e.g. seed=1,reset=0.02,delay=2ms (testing)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -102,6 +108,21 @@ func run(argv []string) int {
 	}
 	if *lease <= 0 {
 		return usageErr(fmt.Errorf("-lease must be positive, got %v", *lease))
+	}
+	if *maxAttempts <= 0 {
+		return usageErr(fmt.Errorf("-max-attempts must be positive, got %d", *maxAttempts))
+	}
+	if *serve == "" {
+		if *token != "" {
+			return usageErr(errors.New("-token only applies with -serve"))
+		}
+		if *chaos != "" {
+			return usageErr(errors.New("-chaos only applies with -serve"))
+		}
+	}
+	chaosCfg, err := netchaos.ParseFlag(*chaos)
+	if err != nil {
+		return usageErr(fmt.Errorf("-chaos: %w", err))
 	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile, *exectrace)
@@ -123,12 +144,27 @@ func run(argv []string) int {
 
 	var dispatch hmccoal.Dispatcher
 	if *serve != "" {
-		coord, err := serveCoordinator(*serve, *lease)
+		coord, err := serveCoordinator(*serve, dsweep.Options{
+			Lease:       *lease,
+			MaxAttempts: *maxAttempts,
+			Token:       *token,
+		}, chaosCfg)
 		if err != nil {
 			return usageErr(err)
 		}
 		defer coord.Close()
 		dispatch = coord
+
+		// SIGUSR1 prints a status snapshot — queue depth, leases,
+		// per-worker throughput, fault counters — to stderr on demand.
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		defer signal.Stop(usr1)
+		go func() {
+			for range usr1 {
+				fmt.Fprintln(os.Stderr, "hmccoal:", coord.Status())
+			}
+		}()
 	}
 
 	if *runBench != "" {
@@ -446,18 +482,28 @@ func sweepOptions(workers, batch int, checks bool, checkpoint, tag string, backe
 // announces the bound address on stderr (":0" binds an ephemeral port, so
 // scripts parse the announcement). The coordinator's chatter — worker
 // connects, losses, requeues — also goes to stderr, keeping stdout
-// byte-identical to a local run.
-func serveCoordinator(addr string, lease time.Duration) (*dsweep.Coordinator, error) {
+// byte-identical to a local run. A non-zero chaos config wraps the
+// listener so every accepted worker connection suffers deterministic,
+// seeded network faults — the CI soak that proves figures stay
+// byte-identical anyway.
+func serveCoordinator(addr string, opt dsweep.Options, chaos netchaos.Config) (*dsweep.Coordinator, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("-serve: %w", err)
 	}
-	coord := dsweep.NewCoordinator(dsweep.Options{
-		Lease: lease,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "hmccoal: "+format+"\n", args...)
-		},
-	})
+	if chaos.Enabled() {
+		inj, err := netchaos.New(chaos)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("-chaos: %w", err)
+		}
+		ln = inj.Listen(ln)
+		fmt.Fprintf(os.Stderr, "hmccoal: chaos injection armed on worker connections (seed %d)\n", chaos.Seed)
+	}
+	opt.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hmccoal: "+format+"\n", args...)
+	}
+	coord := dsweep.NewCoordinator(opt)
 	go coord.Serve(ln)
 	fmt.Fprintf(os.Stderr, "hmccoal: coordinating sweeps on %s\n", ln.Addr())
 	return coord, nil

@@ -14,6 +14,10 @@ func TestFlagValidation(t *testing.T) {
 		"bad serve addr":   {"-serve", "no-such-host-xyz:0:0", "-list"},
 		"unknown figure":   {"-fig", "99"},
 		"unknown backend":  {"-backend", "sram", "-list"},
+		"token sans serve": {"-token", "s3cret", "-list"},
+		"chaos sans serve": {"-chaos", "seed=1,reset=0.5", "-list"},
+		"bad chaos":        {"-serve", "127.0.0.1:0", "-chaos", "reset=2", "-list"},
+		"zero attempts":    {"-max-attempts", "0", "-list"},
 	} {
 		if code := run(argv); code != exitUsage {
 			t.Errorf("%s (%v): exit %d, want %d", name, argv, code, exitUsage)

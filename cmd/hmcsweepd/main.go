@@ -8,15 +8,23 @@
 //
 // Usage:
 //
-//	hmcsweepd -connect host:7333              # one worker, all cores
-//	hmcsweepd -connect host:7333 -slots 2     # two concurrent job groups
-//	hmcsweepd -connect host:7333 -name rack7  # named in coordinator logs
+//	hmcsweepd -connect host:7333               # one worker, all cores
+//	hmcsweepd -connect host:7333 -slots 2      # two concurrent job groups
+//	hmcsweepd -connect host:7333 -name rack7   # named in coordinator logs
+//	hmcsweepd -connect host:7333 -token secret # authenticated handshake
 //
 // The worker exits 0 when the coordinator drains it (sweep finished) and
 // on a graceful SIGINT/SIGTERM drain: a job group already running is
 // finished and its result delivered before the process leaves, so
 // stopping a worker never loses completed simulations — the coordinator
 // requeues only groups lost to a real crash.
+//
+// A connection lost to a transport fault is re-dialed with jittered
+// backoff and the slot resumes pulling, bounded by -reconnects
+// consecutive failures (the counter resets on every successful
+// handshake). A rejected token or protocol mismatch is terminal: the
+// worker exits 2 instead of re-presenting credentials the coordinator
+// already refused.
 //
 // Exit codes: 0 clean drain, 1 usage/configuration error, 2 worker
 // failure (coordinator unreachable, protocol mismatch, transport loss).
@@ -27,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -34,6 +43,7 @@ import (
 
 	"hmccoal"
 	"hmccoal/internal/dsweep"
+	"hmccoal/internal/netchaos"
 )
 
 const (
@@ -48,10 +58,13 @@ func main() {
 func run(argv []string) int {
 	fs := flag.NewFlagSet("hmcsweepd", flag.ContinueOnError)
 	var (
-		connect   = fs.String("connect", "", "coordinator address (host:port) to pull sweep job groups from (required)")
-		name      = fs.String("name", "", "worker name in coordinator logs (default host/pid)")
-		slots     = fs.Int("slots", 0, "job groups run concurrently (0 = one per core)")
-		dialRetry = fs.Duration("dial-retry", dsweep.DefaultDialRetry, "how long to keep retrying the initial coordinator dial (workers may start first)")
+		connect    = fs.String("connect", "", "coordinator address (host:port) to pull sweep job groups from (required)")
+		name       = fs.String("name", "", "worker name in coordinator logs (default host/pid)")
+		slots      = fs.Int("slots", 0, "job groups run concurrently (0 = one per core)")
+		dialRetry  = fs.Duration("dial-retry", dsweep.DefaultDialRetry, "how long to keep retrying the initial coordinator dial (workers may start first)")
+		token      = fs.String("token", "", "shared secret presented in the handshake (must match the coordinator's -token)")
+		reconnects = fs.Int("reconnects", dsweep.DefaultReconnects, "consecutive failed reconnection attempts before a slot gives up (-1 disables reconnection)")
+		chaos      = fs.String("chaos", "", "deterministic network-fault injection on the coordinator connection, e.g. seed=1,reset=0.02,dialfail=0.1 (testing)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -71,6 +84,15 @@ func run(argv []string) int {
 		fmt.Fprintf(os.Stderr, "hmcsweepd: -dial-retry must be positive, got %v\n", *dialRetry)
 		return exitUsage
 	}
+	if *reconnects < -1 {
+		fmt.Fprintf(os.Stderr, "hmcsweepd: -reconnects must be ≥ -1, got %d\n", *reconnects)
+		return exitUsage
+	}
+	chaosCfg, err := netchaos.ParseFlag(*chaos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmcsweepd: -chaos:", err)
+		return exitUsage
+	}
 	if *name == "" {
 		host, _ := os.Hostname()
 		if host == "" {
@@ -87,13 +109,33 @@ func run(argv []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "hmcsweepd: %s pulling from %s (%d slots)\n", *name, *connect, *slots)
-	err := dsweep.Work(ctx, *connect, hmccoal.NewSweepRunner(), dsweep.WorkOptions{
+	opt := dsweep.WorkOptions{
 		Name:      *name,
 		Slots:     *slots,
 		DialRetry: *dialRetry,
-	})
-	if err != nil {
+		Token:     *token,
+		// At the CLI, 0 and -1 both mean "never reconnect"; the library
+		// reserves 0 for its default.
+		Reconnects: *reconnects,
+	}
+	if *reconnects <= 0 {
+		opt.Reconnects = -1
+	}
+	if chaosCfg.Enabled() {
+		inj, err := netchaos.New(chaosCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hmcsweepd: -chaos:", err)
+			return exitUsage
+		}
+		var d net.Dialer
+		opt.Dial = inj.Dialer(func(ctx context.Context, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		})
+		fmt.Fprintf(os.Stderr, "hmcsweepd: chaos injection armed on the coordinator connection (seed %d)\n", chaosCfg.Seed)
+	}
+
+	fmt.Fprintf(os.Stderr, "hmcsweepd: %s pulling from %s (%d slots)\n", *name, *connect, *slots)
+	if err := dsweep.Work(ctx, *connect, hmccoal.NewSweepRunner(), opt); err != nil {
 		fmt.Fprintln(os.Stderr, "hmcsweepd:", err)
 		return exitRun
 	}

@@ -11,6 +11,8 @@ func TestFlagValidation(t *testing.T) {
 		"negative slots":      {"-connect", "x:1", "-slots", "-1"},
 		"zero dial retry":     {"-connect", "x:1", "-dial-retry", "0s"},
 		"negative dial retry": {"-connect", "x:1", "-dial-retry", "-5s"},
+		"bad reconnects":      {"-connect", "x:1", "-reconnects", "-2"},
+		"bad chaos":           {"-connect", "x:1", "-chaos", "bogus=1"},
 	} {
 		if code := run(argv); code != exitUsage {
 			t.Errorf("%s (%v): exit %d, want %d", name, argv, code, exitUsage)

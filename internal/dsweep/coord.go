@@ -2,11 +2,14 @@ package dsweep
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -25,6 +28,18 @@ type Options struct {
 	// crashes its host cannot starve the sweep forever. Zero means
 	// DefaultMaxAttempts.
 	MaxAttempts int
+	// Token, when non-empty, authenticates workers: a Hello whose token
+	// does not match (constant-time compare) is answered with Bye,
+	// counted in Status().AuthRejects and disconnected — without
+	// disturbing the campaign the authenticated workers are running. An
+	// empty Token accepts every worker (the trusted-network default).
+	Token string
+	// IOTimeout bounds every frame write (hello reply, job, bye) and the
+	// handshake read, so a stalled or half-open peer can never wedge a
+	// connection handler. Idle waits — a handshaked worker between jobs —
+	// remain unbounded by design, covered by TCP keepalives. 0 means
+	// DefaultIOTimeout.
+	IOTimeout time.Duration
 	// Logf, when non-nil, receives coordinator lifecycle chatter (worker
 	// connects, losses, requeues). It must be safe for concurrent use.
 	Logf func(format string, args ...any)
@@ -50,6 +65,13 @@ func (o Options) maxAttempts() int {
 	return o.MaxAttempts
 }
 
+func (o Options) ioTimeout() time.Duration {
+	if o.IOTimeout <= 0 {
+		return DefaultIOTimeout
+	}
+	return o.IOTimeout
+}
+
 // groupOutcome is one group's terminal state.
 type groupOutcome struct {
 	cells []json.RawMessage
@@ -67,6 +89,22 @@ type group struct {
 	done     chan groupOutcome
 }
 
+// workerStats aggregates one worker name's history across connections.
+type workerStats struct {
+	connected  int // live handshaked connections bearing this name
+	connects   uint64
+	reconnects uint64
+	completed  uint64 // groups delivered
+	jobs       uint64 // grid indices delivered
+	fails      uint64 // groups reported as deterministic failures
+}
+
+// leaseRec is one in-flight group's lease: who holds it and since when.
+type leaseRec struct {
+	worker string
+	since  time.Time
+}
+
 // Coordinator owns a distributed sweep's pending job groups and serves
 // them to worker connections with work-stealing dispatch: every Ready
 // worker pulls the oldest pending group, so fast workers naturally take
@@ -80,19 +118,28 @@ type group struct {
 type Coordinator struct {
 	opt Options
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	queue     []*group // pending groups; requeues go to the front
-	nextID    uint64
-	closed    bool
-	listeners []net.Listener
-	workers   int            // handshaked worker connections
-	handlers  sync.WaitGroup // live Handle calls, for the Close drain
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []*group // pending groups; requeues go to the front
+	nextID      uint64
+	closed      bool
+	listeners   []net.Listener
+	workers     int // handshaked worker connections
+	authRejects uint64
+	reconnects  uint64
+	requeues    uint64
+	perWorker   map[string]*workerStats
+	inflight    map[uint64]*leaseRec
+	handlers    sync.WaitGroup // live Handle calls, for the Close drain
 }
 
 // NewCoordinator builds a Coordinator with the given options.
 func NewCoordinator(opt Options) *Coordinator {
-	c := &Coordinator{opt: opt}
+	c := &Coordinator{
+		opt:       opt,
+		perWorker: make(map[string]*workerStats),
+		inflight:  make(map[uint64]*leaseRec),
+	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -108,6 +155,89 @@ func (c *Coordinator) Workers() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.workers
+}
+
+// WorkerStatus is one worker name's row in a Status snapshot.
+type WorkerStatus struct {
+	Name       string
+	Connected  bool
+	Connects   uint64 // handshakes, including reconnects
+	Reconnects uint64
+	Completed  uint64 // groups delivered
+	Jobs       uint64 // grid indices delivered (throughput)
+	Fails      uint64 // deterministic group failures reported
+	LeaseAge   time.Duration
+}
+
+// Status is a point-in-time snapshot of a coordinator's campaign: queue
+// depth, in-flight leases, per-worker throughput and the fault counters
+// (auth rejects, reconnects, requeues). It is the observability hook a
+// serving daemon fronts; hmccoal -serve prints it on SIGUSR1.
+type Status struct {
+	Queued      int // groups waiting for a puller
+	InFlight    int // groups currently leased
+	Workers     int // connected worker connections
+	AuthRejects uint64
+	Reconnects  uint64
+	Requeues    uint64
+	PerWorker   []WorkerStatus // sorted by name
+}
+
+// Status snapshots the coordinator's current state.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Status{
+		Queued:      len(c.queue),
+		InFlight:    len(c.inflight),
+		Workers:     c.workers,
+		AuthRejects: c.authRejects,
+		Reconnects:  c.reconnects,
+		Requeues:    c.requeues,
+	}
+	oldest := make(map[string]time.Time, len(c.inflight))
+	for _, lr := range c.inflight {
+		if t, ok := oldest[lr.worker]; !ok || lr.since.Before(t) {
+			oldest[lr.worker] = lr.since
+		}
+	}
+	for name, ws := range c.perWorker {
+		row := WorkerStatus{
+			Name:       name,
+			Connected:  ws.connected > 0,
+			Connects:   ws.connects,
+			Reconnects: ws.reconnects,
+			Completed:  ws.completed,
+			Jobs:       ws.jobs,
+			Fails:      ws.fails,
+		}
+		if t, ok := oldest[name]; ok {
+			row.LeaseAge = time.Since(t)
+		}
+		s.PerWorker = append(s.PerWorker, row)
+	}
+	sort.Slice(s.PerWorker, func(i, j int) bool { return s.PerWorker[i].Name < s.PerWorker[j].Name })
+	return s
+}
+
+// String renders a Status as the multi-line stderr block the -serve
+// SIGUSR1 handler prints.
+func (s Status) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dsweep status: %d queued, %d in flight, %d workers connected, %d auth rejects, %d reconnects, %d requeues",
+		s.Queued, s.InFlight, s.Workers, s.AuthRejects, s.Reconnects, s.Requeues)
+	for _, w := range s.PerWorker {
+		state := "gone"
+		if w.Connected {
+			state = "connected"
+		}
+		fmt.Fprintf(&b, "\n  %s: %s, %d connects (%d reconnects), %d groups (%d jobs), %d fails",
+			w.Name, state, w.Connects, w.Reconnects, w.Completed, w.Jobs, w.Fails)
+		if w.LeaseAge > 0 {
+			fmt.Fprintf(&b, ", lease age %v", w.LeaseAge.Round(time.Millisecond))
+		}
+	}
+	return b.String()
 }
 
 // Serve accepts worker connections on ln until the coordinator is
@@ -228,9 +358,10 @@ func (c *Coordinator) dequeueLocked(g *group) {
 
 // deliver settles g with its outcome; late outcomes (after a lease
 // requeue already settled the group elsewhere, or after the caller's ctx
-// cancelled) are discarded.
+// cancelled) are discarded. Any lease record for g is released.
 func (c *Coordinator) deliver(g *group, o groupOutcome) {
 	c.mu.Lock()
+	delete(c.inflight, g.id)
 	if g.settled {
 		c.mu.Unlock()
 		return
@@ -245,11 +376,13 @@ func (c *Coordinator) deliver(g *group, o groupOutcome) {
 // the line — failing it once MaxAttempts workers have been lost on it.
 func (c *Coordinator) requeue(g *group, cause error) {
 	c.mu.Lock()
+	delete(c.inflight, g.id)
 	if g.settled || c.closed {
 		c.mu.Unlock()
 		return
 	}
 	g.attempts++
+	c.requeues++
 	if g.attempts >= c.opt.maxAttempts() {
 		c.mu.Unlock()
 		c.deliver(g, groupOutcome{err: fmt.Errorf("dsweep: group %d lost %d workers (last: %v)", g.id, g.attempts, cause)})
@@ -259,6 +392,13 @@ func (c *Coordinator) requeue(g *group, cause error) {
 	c.cond.Signal()
 	c.mu.Unlock()
 	c.logf("dsweep: requeued group %d after worker loss (%v)", g.id, cause)
+}
+
+// lease records g as in flight on the named worker's connection.
+func (c *Coordinator) lease(g *group, worker string) {
+	c.mu.Lock()
+	c.inflight[g.id] = &leaseRec{worker: worker, since: time.Now()}
+	c.mu.Unlock()
 }
 
 // take blocks until a pending group is available and leases it to the
@@ -284,11 +424,15 @@ func (c *Coordinator) Handle(conn net.Conn) {
 	c.handlers.Add(1)
 	defer c.handlers.Done()
 	defer conn.Close()
+	enableKeepAlive(conn)
 
 	name, err := c.serveWorker(conn)
 	c.mu.Lock()
 	if name != "" {
 		c.workers--
+		if ws := c.perWorker[name]; ws != nil {
+			ws.connected--
+		}
 	}
 	closed := c.closed
 	c.mu.Unlock()
@@ -297,17 +441,26 @@ func (c *Coordinator) Handle(conn net.Conn) {
 	}
 }
 
+// checkToken compares a worker's presented token against the configured
+// one in constant time, so the comparison leaks nothing about how much of
+// a guessed token matched.
+func (c *Coordinator) checkToken(got string) bool {
+	return subtle.ConstantTimeCompare([]byte(got), []byte(c.opt.Token)) == 1
+}
+
 // serveWorker runs the coordinator side of the protocol on one
-// connection: handshake, then Ready→Job→Result rounds until the worker
-// disconnects or the queue closes. Any transport or protocol failure
-// while a group is leased requeues the group.
+// connection: handshake (version, then token), then Ready→Job→Result
+// rounds until the worker disconnects or the queue closes. Any transport
+// or protocol failure while a group is leased requeues the group; every
+// write and every bounded-expectation read carries a deadline, so a
+// stalled peer costs at most IOTimeout (or the lease), never a handler.
 func (c *Coordinator) serveWorker(conn net.Conn) (string, error) {
 	lease := c.opt.lease()
+	iot := c.opt.ioTimeout()
 
-	// Handshake, bounded by the lease so a silent connection cannot pin
-	// the handler forever.
-	conn.SetReadDeadline(time.Now().Add(lease))
-	typ, payload, err := ReadFrame(conn)
+	// Handshake, deadline-bounded so a silent connection cannot pin the
+	// handler.
+	typ, payload, err := readFrameTimeout(conn, iot)
 	if err != nil {
 		return "", fmt.Errorf("hello: %w", err)
 	}
@@ -318,23 +471,46 @@ func (c *Coordinator) serveWorker(conn net.Conn) (string, error) {
 	if err := decodeMsg(typ, payload, &hello); err != nil {
 		return "", err
 	}
+	hello.Name = truncate(hello.Name, MaxNameLen)
 	if hello.Proto != protoVersion {
-		writeMsg(conn, MsgBye, nil)
+		writeMsgTimeout(conn, iot, MsgBye, nil)
 		return "", fmt.Errorf("worker %q speaks protocol %d, want %d", hello.Name, hello.Proto, protoVersion)
 	}
-	if err := writeMsg(conn, MsgHello, helloMsg{Proto: protoVersion, Name: "coordinator"}); err != nil {
+	if !c.checkToken(hello.Token) {
+		c.mu.Lock()
+		c.authRejects++
+		c.mu.Unlock()
+		writeMsgTimeout(conn, iot, MsgBye, nil)
+		return "", fmt.Errorf("worker %q presented a bad token", hello.Name)
+	}
+	if err := writeMsgTimeout(conn, iot, MsgHello, helloMsg{Proto: protoVersion, Name: "coordinator"}); err != nil {
 		return "", fmt.Errorf("hello reply: %w", err)
 	}
 	c.mu.Lock()
 	c.workers++
+	ws := c.perWorker[hello.Name]
+	if ws == nil {
+		ws = &workerStats{}
+		c.perWorker[hello.Name] = ws
+	}
+	ws.connected++
+	ws.connects++
+	if hello.Attempt > 0 {
+		ws.reconnects++
+		c.reconnects++
+	}
 	c.mu.Unlock()
-	c.logf("dsweep: worker %s connected", hello.Name)
+	if hello.Attempt > 0 {
+		c.logf("dsweep: worker %s reconnected (attempt %d)", hello.Name, hello.Attempt)
+	} else {
+		c.logf("dsweep: worker %s connected", hello.Name)
+	}
 
 	for {
 		// Wait for the worker to pull work; an idle worker may sit here
-		// arbitrarily long, so no deadline applies.
-		conn.SetReadDeadline(time.Time{})
-		typ, _, err := ReadFrame(conn)
+		// arbitrarily long, so no deadline applies (keepalives cover a
+		// dead peer).
+		typ, _, err := readFrameTimeout(conn, 0)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return hello.Name, nil // worker drained and left
@@ -347,18 +523,18 @@ func (c *Coordinator) serveWorker(conn net.Conn) (string, error) {
 
 		g := c.take()
 		if g == nil {
-			writeMsg(conn, MsgBye, nil)
+			writeMsgTimeout(conn, iot, MsgBye, nil)
 			return hello.Name, nil
 		}
-		if err := writeMsg(conn, MsgJob, jobMsg{ID: g.id, Spec: g.spec, Idxs: g.idxs}); err != nil {
+		c.lease(g, hello.Name)
+		if err := writeMsgTimeout(conn, iot, MsgJob, jobMsg{ID: g.id, Spec: g.spec, Idxs: g.idxs}); err != nil {
 			c.requeue(g, fmt.Errorf("send to %s: %w", hello.Name, err))
 			return hello.Name, fmt.Errorf("job: %w", err)
 		}
 
 		// The lease: the worker must produce the group's outcome within
 		// the deadline or it is presumed dead and the group is requeued.
-		conn.SetReadDeadline(time.Now().Add(lease))
-		typ, payload, err := ReadFrame(conn)
+		typ, payload, err := readFrameTimeout(conn, lease)
 		if err != nil {
 			c.requeue(g, fmt.Errorf("worker %s: %w", hello.Name, err))
 			return hello.Name, fmt.Errorf("group %d: %w", g.id, err)
@@ -382,6 +558,10 @@ func (c *Coordinator) serveWorker(conn net.Conn) (string, error) {
 				continue
 			}
 			c.deliver(g, groupOutcome{cells: res.Cells})
+			c.mu.Lock()
+			ws.completed++
+			ws.jobs += uint64(len(g.idxs))
+			c.mu.Unlock()
 		case MsgFail:
 			var fail failMsg
 			if err := decodeMsg(typ, payload, &fail); err != nil {
@@ -389,7 +569,10 @@ func (c *Coordinator) serveWorker(conn net.Conn) (string, error) {
 				return hello.Name, err
 			}
 			// Job errors are deterministic; requeueing would repeat them.
-			c.deliver(g, groupOutcome{err: fmt.Errorf("dsweep: worker %s: %s", hello.Name, fail.Error)})
+			c.deliver(g, groupOutcome{err: fmt.Errorf("dsweep: worker %s: %s", hello.Name, truncate(fail.Error, MaxErrorLen))})
+			c.mu.Lock()
+			ws.fails++
+			c.mu.Unlock()
 		default:
 			err := fmt.Errorf("expected result, got %v", typ)
 			c.requeue(g, err)

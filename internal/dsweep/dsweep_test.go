@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -316,5 +317,346 @@ func TestWorkDialFailure(t *testing.T) {
 	err := Work(ctx, "127.0.0.1:1", echoRunner(nil), WorkOptions{Name: "w", DialRetry: 100 * time.Millisecond})
 	if err == nil {
 		t.Fatal("Work reached a dead address")
+	}
+}
+
+// pipeDialer returns a Dial hook that connects each dial attempt straight
+// to the coordinator through an in-memory pipe, and a kill function that
+// severs the most recent connection (both ends), simulating a transport
+// reset the worker must recover from.
+func pipeDialer(c *Coordinator) (dial func(ctx context.Context, addr string) (net.Conn, error), kill func()) {
+	var mu sync.Mutex
+	var last [2]net.Conn
+	dial = func(ctx context.Context, addr string) (net.Conn, error) {
+		p1, p2 := net.Pipe()
+		go c.Handle(p2)
+		mu.Lock()
+		last = [2]net.Conn{p1, p2}
+		mu.Unlock()
+		return p1, nil
+	}
+	kill = func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if last[0] != nil {
+			last[0].Close()
+			last[1].Close()
+		}
+	}
+	return dial, kill
+}
+
+func TestWorkerReconnectsAfterTransportLoss(t *testing.T) {
+	c := NewCoordinator(Options{})
+	t.Cleanup(func() { c.Close() })
+	dial, kill := pipeDialer(c)
+
+	started := make(chan struct{})
+	killed := make(chan struct{})
+	var calls atomic.Int64
+	runner := func(_ context.Context, spec []byte, idxs []int) ([]json.RawMessage, error) {
+		if calls.Add(1) == 1 {
+			close(started)
+			<-killed // hold the group until the test severs the connection
+		}
+		return echoRunner(nil)(context.Background(), spec, idxs)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- Work(ctx, "pipe", runner, WorkOptions{Name: "flaky", Dial: dial, DialRetry: 5 * time.Second})
+	}()
+
+	result := make(chan []json.RawMessage, 1)
+	go func() { result <- runGroup(t, c, []int{1, 2, 3}) }()
+
+	// Sever the connection while the group runs: the coordinator requeues
+	// it off the broken lease, and the slot's result write fails — a
+	// non-drain transport loss that must trigger a reconnect.
+	<-started
+	kill()
+	close(killed)
+
+	if cells := <-result; len(cells) != 3 {
+		t.Fatalf("group returned %d cells after reconnect", len(cells))
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("group ran %d times, want 2 (once per era)", n)
+	}
+	st := c.Status()
+	if st.Reconnects != 1 {
+		t.Fatalf("Status reconnects = %d, want 1\n%s", st.Reconnects, st)
+	}
+	if len(st.PerWorker) != 1 || st.PerWorker[0].Connects != 2 || st.PerWorker[0].Completed != 1 {
+		t.Fatalf("per-worker status: %+v", st.PerWorker)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("worker drain after reconnect: %v", err)
+	}
+}
+
+func TestReconnectBudgetExhausted(t *testing.T) {
+	dial := func(ctx context.Context, addr string) (net.Conn, error) {
+		return nil, errors.New("injected dial failure")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := Work(ctx, "pipe", echoRunner(nil), WorkOptions{
+		Name: "doomed", Dial: dial, DialRetry: 20 * time.Millisecond, Reconnects: 2,
+	})
+	if err == nil || !strings.Contains(err.Error(), "consecutive connection failures") {
+		t.Fatalf("want a budget-exhausted failure, got %v", err)
+	}
+}
+
+func TestBadTokenRejected(t *testing.T) {
+	c, addr := startCoordinator(t, Options{Token: "s3cret"})
+
+	// Wrong token: terminal for the worker, counted by the coordinator.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := Work(ctx, addr, echoRunner(nil), WorkOptions{Name: "intruder", Token: "guess"})
+	if err == nil || !strings.Contains(err.Error(), "rejected the handshake") {
+		t.Fatalf("want a handshake rejection, got %v", err)
+	}
+	if got := c.Status().AuthRejects; got != 1 {
+		t.Fatalf("auth rejects = %d, want 1", got)
+	}
+
+	// Right token: business as usual.
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	go Work(wctx, addr, echoRunner(nil), WorkOptions{Name: "legit", Token: "s3cret"})
+	if cells := runGroup(t, c, []int{1}); len(cells) != 1 {
+		t.Fatalf("authenticated worker returned %d cells", len(cells))
+	}
+
+	// Empty token against a token-bearing coordinator is also rejected.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := Work(ctx2, addr, echoRunner(nil), WorkOptions{Name: "anon"}); err == nil {
+		t.Fatal("tokenless worker passed a token-bearing coordinator")
+	}
+}
+
+func TestStalledPeerCannotWedgeCoordinator(t *testing.T) {
+	// A connection that never sends its hello must release the handler
+	// within the I/O deadline, not pin it forever.
+	c := NewCoordinator(Options{IOTimeout: 50 * time.Millisecond})
+	t.Cleanup(func() { c.Close() })
+	p1, p2 := net.Pipe()
+	defer p1.Close()
+	done := make(chan struct{})
+	go func() { c.Handle(p2); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator handler wedged on a silent peer")
+	}
+}
+
+func TestStalledPeerCannotWedgeWorker(t *testing.T) {
+	// A peer that accepts the connection but never drains it must fail the
+	// slot's hello write within the I/O deadline; with reconnection
+	// disabled that surfaces as a prompt Work error.
+	dial := func(ctx context.Context, addr string) (net.Conn, error) {
+		p1, p2 := net.Pipe()
+		t.Cleanup(func() { p1.Close(); p2.Close() })
+		return p1, nil // nobody ever reads p2
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	err := Work(ctx, "pipe", echoRunner(nil), WorkOptions{
+		Name: "stalled", Dial: dial, IOTimeout: 50 * time.Millisecond, Reconnects: -1,
+	})
+	if err == nil {
+		t.Fatal("Work returned nil against a stalled peer")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled peer held the slot for %v", elapsed)
+	}
+}
+
+func TestDrainRaceStillDeliversResult(t *testing.T) {
+	// Cancellation landing between the runner returning and the result
+	// frame going out must not tear the finished group off the wire.
+	c, addr := startCoordinator(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	testHookBeforeReport = func() {
+		cancel()
+		time.Sleep(50 * time.Millisecond) // give the drain AfterFunc every chance to misfire
+	}
+	defer func() { testHookBeforeReport = nil }()
+
+	done := make(chan error, 1)
+	go func() { done <- Work(ctx, addr, echoRunner(nil), WorkOptions{Name: "racer"}) }()
+	if cells := runGroup(t, c, []int{1, 2}); len(cells) != 2 {
+		t.Fatalf("drain-raced group returned %d cells", len(cells))
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("drain-raced worker returned %v", err)
+	}
+}
+
+func TestOversizeFieldsTruncated(t *testing.T) {
+	c, addr := startCoordinator(t, Options{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	longName := strings.Repeat("n", 10*MaxNameLen)
+	if err := writeMsg(conn, MsgHello, helloMsg{Proto: protoVersion, Name: longName}); err != nil {
+		t.Fatal(err)
+	}
+	w := &rawWorker{t: t, conn: conn}
+	w.expect(MsgHello)
+
+	result := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := c.RunGroup(ctx, []byte(`{}`), []int{0})
+		result <- err
+	}()
+	job := w.takeJob()
+	if err := writeMsg(conn, MsgFail, failMsg{ID: job.ID, Error: strings.Repeat("e", 10*MaxErrorLen)}); err != nil {
+		t.Fatal(err)
+	}
+	gerr := <-result
+	if gerr == nil {
+		t.Fatal("oversize fail message did not fail the group")
+	}
+	if len(gerr.Error()) > MaxErrorLen+128 {
+		t.Fatalf("delivered error is %d bytes; the coordinator did not truncate", len(gerr.Error()))
+	}
+	st := c.Status()
+	if len(st.PerWorker) != 1 {
+		t.Fatalf("per-worker rows: %+v", st.PerWorker)
+	}
+	if n := len(st.PerWorker[0].Name); n > MaxNameLen {
+		t.Fatalf("worker name kept %d bytes, cap is %d", n, MaxNameLen)
+	}
+	if st.PerWorker[0].Fails != 1 {
+		t.Fatalf("fails = %d, want 1", st.PerWorker[0].Fails)
+	}
+}
+
+func TestStatusSnapshot(t *testing.T) {
+	c, addr := startCoordinator(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go Work(ctx, addr, echoRunner(nil), WorkOptions{Name: "obs"})
+
+	for g := 0; g < 3; g++ {
+		runGroup(t, c, []int{g * 2, g*2 + 1})
+	}
+	var st Status
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		st = c.Status()
+		if st.Workers == 1 && len(st.PerWorker) == 1 && st.PerWorker[0].Completed == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("status never settled: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.Queued != 0 || st.InFlight != 0 {
+		t.Fatalf("idle coordinator shows queued=%d inflight=%d", st.Queued, st.InFlight)
+	}
+	w := st.PerWorker[0]
+	if w.Name != "obs" || !w.Connected || w.Jobs != 6 || w.Connects != 1 {
+		t.Fatalf("per-worker row: %+v", w)
+	}
+	out := st.String()
+	for _, want := range []string{"queued", "obs", "6 jobs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Status.String() = %q, missing %q", out, want)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	seedA, seedB := slotSeed("w/0"), slotSeed("w/1")
+	if seedA == seedB {
+		t.Fatal("distinct slots share a jitter seed")
+	}
+	distinct := false
+	for n := 1; n <= 8; n++ {
+		da, db := reconnectDelay(seedA, n), reconnectDelay(seedB, n)
+		if da != reconnectDelay(seedA, n) {
+			t.Fatalf("reconnectDelay(%d) is not deterministic", n)
+		}
+		if da != db {
+			distinct = true
+		}
+		if da <= 0 || da > 3*time.Second {
+			t.Fatalf("reconnectDelay(%d) = %v out of range", n, da)
+		}
+	}
+	if !distinct {
+		t.Fatal("two slots backed off in lockstep across every attempt")
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		j := backoffJitter(seedA, attempt, 100*time.Millisecond)
+		if j < 0 || j >= 50*time.Millisecond {
+			t.Fatalf("jitter %v outside [0, base/2)", j)
+		}
+	}
+}
+
+func TestWorkerReconnectsAfterCoordinatorEOF(t *testing.T) {
+	// A bare EOF on the pull wait (coordinator crashed or the connection
+	// died cleanly) is not a drain — only an explicit Bye is. The slot
+	// must re-dial and keep serving the campaign.
+	c := NewCoordinator(Options{})
+	t.Cleanup(func() { c.Close() })
+	var mu sync.Mutex
+	var remote net.Conn
+	dial := func(ctx context.Context, addr string) (net.Conn, error) {
+		p1, p2 := net.Pipe()
+		go c.Handle(p2)
+		mu.Lock()
+		remote = p2
+		mu.Unlock()
+		return p1, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- Work(ctx, "pipe", echoRunner(nil), WorkOptions{Name: "eof", Dial: dial})
+	}()
+
+	// Let the worker handshake, then close the coordinator end under it.
+	for deadline := time.Now().Add(5 * time.Second); c.Status().Workers == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never handshaked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	remote.Close()
+	mu.Unlock()
+
+	for deadline := time.Now().Add(10 * time.Second); c.Status().Reconnects == 0; {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never reconnected after EOF\n%s", c.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if cells := runGroup(t, c, []int{1, 2}); len(cells) != 2 {
+		t.Fatalf("post-EOF group returned %d cells", len(cells))
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("worker drain after EOF reconnect: %v", err)
 	}
 }

@@ -1,0 +1,46 @@
+package netchaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseFlag decodes the shared -chaos CLI syntax: comma-separated
+// key=value pairs, e.g. "seed=1,reset=0.02,corrupt=0.01,delay=2ms".
+// An empty string yields the zero Config (injection disabled). The result
+// is validated before it is returned.
+func ParseFlag(s string) (Config, error) {
+	var cfg Config
+	if s == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cfg, fmt.Errorf("netchaos: %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(val, 0, 64)
+		case "dialfail":
+			cfg.DialFail, err = strconv.ParseFloat(val, 64)
+		case "reset":
+			cfg.Reset, err = strconv.ParseFloat(val, 64)
+		case "shortwrite":
+			cfg.ShortWrite, err = strconv.ParseFloat(val, 64)
+		case "corrupt":
+			cfg.Corrupt, err = strconv.ParseFloat(val, 64)
+		case "delay":
+			cfg.Delay, err = time.ParseDuration(val)
+		default:
+			return cfg, fmt.Errorf("netchaos: unknown key %q (want seed, dialfail, reset, shortwrite, corrupt, delay)", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("netchaos: %s: %w", key, err)
+		}
+	}
+	return cfg, cfg.Validate()
+}

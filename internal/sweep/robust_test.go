@@ -301,3 +301,70 @@ func TestMapCheckpointBackendTag(t *testing.T) {
 		t.Errorf("untagged sweep restored tagged lines: only %d jobs ran", r)
 	}
 }
+
+// TestRemoteAbortLeavesResumableCheckpoint is the sweep layer's half of
+// the fault-tolerant distribution contract: a Remote sweep interrupted
+// mid-grid (a coordinator crash, a cancelled campaign) leaves a
+// checkpoint from which a second Remote sweep finishes the grid without
+// re-dispatching restored jobs — and without duplicating any line, even
+// though the abort's cancellation echoes through every in-flight group.
+func TestRemoteAbortLeavesResumableCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "remote.jsonl")
+	const n = 12
+
+	// First pass: a "dispatcher" that completes 4 groups, then reports
+	// the transport loss a dead coordinator produces.
+	var served atomic.Int64
+	_, err := MapBatch(context.Background(), n, 2, Options{Remote: true, Workers: 1, Checkpoint: ckpt},
+		func(_ context.Context, idxs []int) ([]int, error) {
+			if served.Add(1) > 4 {
+				return nil, errors.New("dsweep: coordinator closed")
+			}
+			out := make([]int, len(idxs))
+			for k, i := range idxs {
+				out[k] = i * i
+			}
+			return out, nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "coordinator closed") {
+		t.Fatalf("aborted sweep returned %v", err)
+	}
+
+	// The checkpoint must hold exactly the completed jobs, once each.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, raw := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(raw) != "" {
+			lines++
+		}
+	}
+	if lines != 8 { // 4 groups × 2 jobs
+		t.Fatalf("aborted checkpoint holds %d lines, want 8", lines)
+	}
+
+	// Second pass: a healthy dispatcher sees only the remaining groups.
+	var resumedGroups atomic.Int64
+	got, err := MapBatch(context.Background(), n, 2, Options{Remote: true, Checkpoint: ckpt},
+		func(_ context.Context, idxs []int) ([]int, error) {
+			resumedGroups.Add(1)
+			out := make([]int, len(idxs))
+			for k, i := range idxs {
+				out[k] = i * i
+			}
+			return out, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := resumedGroups.Load(); g != 2 { // (12-8)/2 groups left
+		t.Fatalf("resume dispatched %d groups, want 2", g)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d after resume, want %d", i, v, i*i)
+		}
+	}
+}
