@@ -1,0 +1,100 @@
+package hmccoal
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"hmccoal/internal/dsweep"
+)
+
+// timeoutSpec builds a one-benchmark timeout grid for cache-stats tests.
+func timeoutSpec(t *testing.T, bench string) []byte {
+	t.Helper()
+	raw, err := json.Marshal(SweepSpec{
+		Kind:     SweepTimeout,
+		Params:   sweepTestParams(),
+		Bench:    bench,
+		Timeouts: []uint64{16, 28},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestSweepRunnerCacheStats pins the trace-cache counter semantics: the
+// first group on a benchmark is a miss, every later group on the same
+// benchmark a hit, and visiting more benchmarks than the cache holds
+// evicts the oldest.
+func TestSweepRunnerCacheStats(t *testing.T) {
+	r := NewSweepRunner()
+	ctx := context.Background()
+	spec := timeoutSpec(t, Benchmarks()[0])
+	for g := 0; g < 2; g++ {
+		if _, err := r.Run(ctx, spec, []int{g}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := r.CacheStats()
+	if s.Misses != 1 || s.Hits != 1 || s.Evictions != 0 {
+		t.Fatalf("after two groups on one benchmark: %+v; want 1 miss, 1 hit, 0 evictions", s)
+	}
+
+	// One more benchmark than the cache holds: the oldest trace goes.
+	benches := Benchmarks()
+	if len(benches) < traceCacheEntries+1 {
+		t.Skipf("only %d benchmarks; need %d to overflow the cache", len(benches), traceCacheEntries+1)
+	}
+	for _, b := range benches[:traceCacheEntries+1] {
+		if _, err := r.Run(ctx, timeoutSpec(t, b), []int{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = r.CacheStats()
+	if s.Evictions == 0 {
+		t.Fatalf("visited %d benchmarks over a %d-entry cache without an eviction: %+v",
+			traceCacheEntries+1, traceCacheEntries, s)
+	}
+}
+
+// TestStatusCarriesCacheCounts drives a real coordinator/worker pair and
+// asserts the worker's trace-cache counters travel in Result frames all
+// the way into the coordinator's Status() rows.
+func TestStatusCarriesCacheCounts(t *testing.T) {
+	coord, addr := startTestCoordinator(t, dsweep.Options{})
+	runner := NewSweepRunner()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go dsweep.Work(ctx, addr, runner.Run, dsweep.WorkOptions{
+		Name: "cachy",
+		CacheStats: func() dsweep.CacheCounts {
+			s := runner.CacheStats()
+			return dsweep.CacheCounts{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions}
+		},
+	})
+
+	spec := timeoutSpec(t, Benchmarks()[0])
+	for g := 0; g < 2; g++ {
+		if _, err := coord.RunGroup(context.Background(), spec, []int{g}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := coord.Status()
+		if len(s.PerWorker) == 1 && s.PerWorker[0].Cache.Misses == 1 && s.PerWorker[0].Cache.Hits == 1 {
+			if got := s.String(); !strings.Contains(got, "trace cache") {
+				t.Fatalf("Status.String() misses the trace-cache column:\n%s", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cache counters never reached Status: %+v", s.PerWorker)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -29,6 +29,7 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -93,6 +94,8 @@ func run(argv []string) int {
 		token       = fs.String("token", "", "with -serve: shared secret workers must present in their handshake (empty accepts any worker)")
 		maxAttempts = fs.Int("max-attempts", dsweep.DefaultMaxAttempts, "with -serve: workers that may be lost on one job group before the group fails")
 		chaos       = fs.String("chaos", "", "with -serve: deterministic network-fault injection on worker connections, e.g. seed=1,reset=0.02,delay=2ms (testing)")
+		tlsCert     = fs.String("tls-cert", "", "with -serve: PEM certificate; worker connections are TLS-wrapped (requires -tls-key)")
+		tlsKey      = fs.String("tls-key", "", "with -serve: PEM private key for -tls-cert")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -119,6 +122,12 @@ func run(argv []string) int {
 		if *chaos != "" {
 			return usageErr(errors.New("-chaos only applies with -serve"))
 		}
+		if *tlsCert != "" || *tlsKey != "" {
+			return usageErr(errors.New("-tls-cert/-tls-key only apply with -serve"))
+		}
+	}
+	if (*tlsCert == "") != (*tlsKey == "") {
+		return usageErr(errors.New("-tls-cert and -tls-key must be given together"))
 	}
 	chaosCfg, err := netchaos.ParseFlag(*chaos)
 	if err != nil {
@@ -148,7 +157,7 @@ func run(argv []string) int {
 			Lease:       *lease,
 			MaxAttempts: *maxAttempts,
 			Token:       *token,
-		}, chaosCfg)
+		}, chaosCfg, *tlsCert, *tlsKey)
 		if err != nil {
 			return usageErr(err)
 		}
@@ -485,8 +494,10 @@ func sweepOptions(workers, batch int, checks bool, checkpoint, tag string, backe
 // byte-identical to a local run. A non-zero chaos config wraps the
 // listener so every accepted worker connection suffers deterministic,
 // seeded network faults — the CI soak that proves figures stay
-// byte-identical anyway.
-func serveCoordinator(addr string, opt dsweep.Options, chaos netchaos.Config) (*dsweep.Coordinator, error) {
+// byte-identical anyway. A -tls-cert/-tls-key pair wraps the listener
+// last, so encryption sits above the injected faults exactly as it sits
+// above real network faults.
+func serveCoordinator(addr string, opt dsweep.Options, chaos netchaos.Config, tlsCert, tlsKey string) (*dsweep.Coordinator, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("-serve: %w", err)
@@ -499,6 +510,15 @@ func serveCoordinator(addr string, opt dsweep.Options, chaos netchaos.Config) (*
 		}
 		ln = inj.Listen(ln)
 		fmt.Fprintf(os.Stderr, "hmccoal: chaos injection armed on worker connections (seed %d)\n", chaos.Seed)
+	}
+	if tlsCert != "" {
+		cfg, err := dsweep.ServerTLS(tlsCert, tlsKey)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("-tls-cert: %w", err)
+		}
+		ln = tls.NewListener(ln, cfg)
+		fmt.Fprintln(os.Stderr, "hmccoal: TLS enabled on worker connections")
 	}
 	opt.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "hmccoal: "+format+"\n", args...)

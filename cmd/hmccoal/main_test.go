@@ -18,6 +18,10 @@ func TestFlagValidation(t *testing.T) {
 		"chaos sans serve": {"-chaos", "seed=1,reset=0.5", "-list"},
 		"bad chaos":        {"-serve", "127.0.0.1:0", "-chaos", "reset=2", "-list"},
 		"zero attempts":    {"-max-attempts", "0", "-list"},
+		"tls sans serve":   {"-tls-cert", "x.crt", "-tls-key", "x.key", "-list"},
+		"cert sans key":    {"-serve", "127.0.0.1:0", "-tls-cert", "x.crt", "-list"},
+		"key sans cert":    {"-serve", "127.0.0.1:0", "-tls-key", "x.key", "-list"},
+		"missing keypair":  {"-serve", "127.0.0.1:0", "-tls-cert", "/no/such.crt", "-tls-key", "/no/such.key", "-list"},
 	} {
 		if code := run(argv); code != exitUsage {
 			t.Errorf("%s (%v): exit %d, want %d", name, argv, code, exitUsage)

@@ -45,6 +45,7 @@ func run(argv []string) int {
 		reproDir = fs.String("repro-dir", "testdata/repros", "directory for shrunken repro files ('' disables)")
 		budget   = fs.Int("shrink-budget", soak.DefaultShrinkBudget, "max re-runs the shrinker may spend per failure")
 		replay   = fs.String("replay", "", "replay a repro JSON file instead of soaking")
+		ckpt     = fs.String("checkpoint", "", "JSONL checkpoint file: completed scenarios persist and an interrupted campaign resumes from it")
 		backend  = fs.String("backend", "hmc", "memory backend to soak: hmc, ddr or ideal")
 		verbose  = fs.Bool("v", false, "print per-scenario progress")
 	)
@@ -81,7 +82,7 @@ func run(argv []string) int {
 	opts := soak.Options{
 		Seed: *seed, Runs: *runs, Workers: *workers,
 		JobTimeout: *timeout, ReproDir: *reproDir, ShrinkBudget: *budget,
-		Backend: kind,
+		Backend: kind, Checkpoint: *ckpt,
 	}
 	if *verbose {
 		opts.Progress = func(done, total int) {

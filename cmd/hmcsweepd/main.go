@@ -65,6 +65,8 @@ func run(argv []string) int {
 		token      = fs.String("token", "", "shared secret presented in the handshake (must match the coordinator's -token)")
 		reconnects = fs.Int("reconnects", dsweep.DefaultReconnects, "consecutive failed reconnection attempts before a slot gives up (-1 disables reconnection)")
 		chaos      = fs.String("chaos", "", "deterministic network-fault injection on the coordinator connection, e.g. seed=1,reset=0.02,dialfail=0.1 (testing)")
+		tlsCA      = fs.String("tls-ca", "", "PEM CA bundle that must have signed the coordinator's certificate; enables TLS on the connection")
+		tlsSkip    = fs.Bool("tls-skip-verify", false, "enable TLS but skip certificate verification (testing)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -133,9 +135,33 @@ func run(argv []string) int {
 		})
 		fmt.Fprintf(os.Stderr, "hmcsweepd: chaos injection armed on the coordinator connection (seed %d)\n", chaosCfg.Seed)
 	}
+	if *tlsCA != "" || *tlsSkip {
+		tcfg, err := dsweep.ClientTLS(*tlsCA, *tlsSkip)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hmcsweepd: -tls-ca:", err)
+			return exitUsage
+		}
+		// TLS wraps whatever dialer is configured — chaos faults land
+		// beneath the record layer, as real network faults would.
+		base := opt.Dial
+		if base == nil {
+			var d net.Dialer
+			base = func(ctx context.Context, addr string) (net.Conn, error) {
+				return d.DialContext(ctx, "tcp", addr)
+			}
+		}
+		opt.Dial = dsweep.TLSDialer(base, tcfg)
+		fmt.Fprintln(os.Stderr, "hmcsweepd: TLS enabled on the coordinator connection")
+	}
+
+	runner := hmccoal.NewSweepRunner()
+	opt.CacheStats = func() dsweep.CacheCounts {
+		s := runner.CacheStats()
+		return dsweep.CacheCounts{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions}
+	}
 
 	fmt.Fprintf(os.Stderr, "hmcsweepd: %s pulling from %s (%d slots)\n", *name, *connect, *slots)
-	if err := dsweep.Work(ctx, *connect, hmccoal.NewSweepRunner(), opt); err != nil {
+	if err := dsweep.Work(ctx, *connect, runner.Run, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "hmcsweepd:", err)
 		return exitRun
 	}

@@ -13,6 +13,7 @@ func TestFlagValidation(t *testing.T) {
 		"negative dial retry": {"-connect", "x:1", "-dial-retry", "-5s"},
 		"bad reconnects":      {"-connect", "x:1", "-reconnects", "-2"},
 		"bad chaos":           {"-connect", "x:1", "-chaos", "bogus=1"},
+		"missing tls ca":      {"-connect", "x:1", "-tls-ca", "/no/such/ca.pem"},
 	} {
 		if code := run(argv); code != exitUsage {
 			t.Errorf("%s (%v): exit %d, want %d", name, argv, code, exitUsage)

@@ -34,13 +34,13 @@ func startTestWorkers(t *testing.T, addr string, n int) {
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
 	for i := 0; i < n; i++ {
-		go dsweep.Work(ctx, addr, NewSweepRunner(), dsweep.WorkOptions{Name: "test-worker"})
+		go dsweep.Work(ctx, addr, NewSweepRunner().Run, dsweep.WorkOptions{Name: "test-worker"})
 	}
 }
 
-// NewSweepRunner in package hmccoal returns the GroupRunner signature
+// SweepRunner.Run in package hmccoal has the GroupRunner signature
 // dsweep.Work expects; this assignment pins that contract at compile time.
-var _ dsweep.GroupRunner = NewSweepRunner()
+var _ dsweep.GroupRunner = NewSweepRunner().Run
 
 // TestDistributedSweepDeterminism is the distribution tentpole's
 // correctness contract: a sweep dispatched to remote workers must produce

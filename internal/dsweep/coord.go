@@ -94,9 +94,10 @@ type workerStats struct {
 	connected  int // live handshaked connections bearing this name
 	connects   uint64
 	reconnects uint64
-	completed  uint64 // groups delivered
-	jobs       uint64 // grid indices delivered
-	fails      uint64 // groups reported as deterministic failures
+	completed  uint64      // groups delivered
+	jobs       uint64      // grid indices delivered
+	fails      uint64      // groups reported as deterministic failures
+	cache      CacheCounts // last counters reported in a Result frame
 }
 
 // leaseRec is one in-flight group's lease: who holds it and since when.
@@ -163,9 +164,10 @@ type WorkerStatus struct {
 	Connected  bool
 	Connects   uint64 // handshakes, including reconnects
 	Reconnects uint64
-	Completed  uint64 // groups delivered
-	Jobs       uint64 // grid indices delivered (throughput)
-	Fails      uint64 // deterministic group failures reported
+	Completed  uint64      // groups delivered
+	Jobs       uint64      // grid indices delivered (throughput)
+	Fails      uint64      // deterministic group failures reported
+	Cache      CacheCounts // trace-cache counters from the last Result frame
 	LeaseAge   time.Duration
 }
 
@@ -210,6 +212,7 @@ func (c *Coordinator) Status() Status {
 			Completed:  ws.completed,
 			Jobs:       ws.jobs,
 			Fails:      ws.fails,
+			Cache:      ws.cache,
 		}
 		if t, ok := oldest[name]; ok {
 			row.LeaseAge = time.Since(t)
@@ -233,6 +236,9 @@ func (s Status) String() string {
 		}
 		fmt.Fprintf(&b, "\n  %s: %s, %d connects (%d reconnects), %d groups (%d jobs), %d fails",
 			w.Name, state, w.Connects, w.Reconnects, w.Completed, w.Jobs, w.Fails)
+		if c := w.Cache; c.Hits+c.Misses+c.Evictions > 0 {
+			fmt.Fprintf(&b, ", trace cache %d hits / %d misses / %d evictions", c.Hits, c.Misses, c.Evictions)
+		}
 		if w.LeaseAge > 0 {
 			fmt.Fprintf(&b, ", lease age %v", w.LeaseAge.Round(time.Millisecond))
 		}
@@ -561,6 +567,9 @@ func (c *Coordinator) serveWorker(conn net.Conn) (string, error) {
 			c.mu.Lock()
 			ws.completed++
 			ws.jobs += uint64(len(g.idxs))
+			if res.Cache != nil {
+				ws.cache = *res.Cache
+			}
 			c.mu.Unlock()
 		case MsgFail:
 			var fail failMsg

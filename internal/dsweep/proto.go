@@ -60,11 +60,23 @@ type jobMsg struct {
 	Idxs []int           `json:"idxs"`
 }
 
+// CacheCounts are a worker's monotonic trace-cache counters. Each Result
+// frame carries the worker process's current values (an additive protocol
+// field — absent on old workers, decoding to zeros), so the coordinator's
+// Status() shows per-worker cache effectiveness without a separate
+// metrics channel.
+type CacheCounts struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
 // resultMsg returns a completed group: one JSON-encoded cell per index,
-// in index order.
+// in index order, plus the worker's current trace-cache counters.
 type resultMsg struct {
 	ID    uint64            `json:"id"`
 	Cells []json.RawMessage `json:"cells"`
+	Cache *CacheCounts      `json:"cache,omitempty"`
 }
 
 // failMsg reports a group whose execution failed. The coordinator fails

@@ -2,6 +2,7 @@ package dsweep
 
 import (
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -56,6 +57,11 @@ type WorkOptions struct {
 	// Dial overrides a single dial attempt (tests and chaos injection);
 	// nil uses a plain TCP dial. Retry policy stays with the worker.
 	Dial func(ctx context.Context, addr string) (net.Conn, error)
+	// CacheStats, when non-nil, is polled after every completed group and
+	// its counters shipped in the Result frame, surfacing the worker's
+	// trace-cache effectiveness in the coordinator's Status(). It must be
+	// safe for concurrent use (slots share one runner).
+	CacheStats func() CacheCounts
 }
 
 // Defaults for WorkOptions.
@@ -285,7 +291,12 @@ func slotConn(ctx context.Context, addr string, run GroupRunner, name string, er
 			if rerr != nil {
 				err = writeMsgTimeout(conn, iot, MsgFail, failMsg{ID: job.ID, Error: rerr.Error()})
 			} else {
-				err = writeMsgTimeout(conn, iot, MsgResult, resultMsg{ID: job.ID, Cells: cells})
+				res := resultMsg{ID: job.ID, Cells: cells}
+				if opt.CacheStats != nil {
+					counts := opt.CacheStats()
+					res.Cache = &counts
+				}
+				err = writeMsgTimeout(conn, iot, MsgResult, res)
 			}
 			busy.Store(false)
 			if err != nil {
@@ -385,8 +396,12 @@ func splitmix64(x uint64) uint64 {
 
 // enableKeepAlive turns on TCP keepalives so a half-open peer (machine
 // gone without a FIN) is eventually detected even on the protocol's
-// unbounded idle waits.
+// unbounded idle waits. A TLS connection is unwrapped to the TCP
+// connection beneath it.
 func enableKeepAlive(conn net.Conn) {
+	if tc, ok := conn.(*tls.Conn); ok {
+		conn = tc.NetConn()
+	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetKeepAlive(true)
 		tc.SetKeepAlivePeriod(30 * time.Second)

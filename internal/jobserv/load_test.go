@@ -1,0 +1,135 @@
+package jobserv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLoadManyTenants is the CI load smoke: many tenants hammer the daemon
+// concurrently with thousands of jobs under active quotas. Quota refusals
+// must be structured (never panics, hangs or silent drops), every admitted
+// job must reach exactly one terminal state, and the ledger must account
+// for every admitted job exactly once. Run with -race in CI.
+//
+// Phase 1 proves quota enforcement deterministically: with the executor
+// held, one tenant fills its MaxRunning slots and MaxQueued queue, so its
+// next submit MUST come back tenant_queue_quota. Phase 2 releases the
+// executor and runs the full concurrent campaign, absorbing any further
+// backpressure through the structured retry hints.
+func TestLoadManyTenants(t *testing.T) {
+	const (
+		tenants    = 8
+		perTenant  = 250 // 2000 jobs total
+		maxQueued  = 96
+		maxRunning = 4
+	)
+	dir := t.TempDir()
+
+	var hold atomic.Bool
+	gate := make(chan struct{})
+	exec := func(ctl execCtl, id string, spec Spec) execOutcome {
+		if hold.Load() {
+			<-gate
+		}
+		return execOutcome{result: fakeResult(id)}
+	}
+	d, err := NewDaemon(Options{
+		Dir:      dir,
+		Slots:    8,
+		MaxQueue: 512,
+		Quota:    Quota{MaxQueued: maxQueued, MaxRunning: maxRunning},
+		exec:     exec,
+	})
+	if err != nil {
+		t.Fatalf("NewDaemon: %v", err)
+	}
+
+	// Phase 1: deterministic pushback. tenant-0's first maxRunning submits
+	// occupy its running quota (the executor is held), the next maxQueued
+	// fill its queue, and the one after that must be refused.
+	hold.Store(true)
+	var admitted []string
+	for i := 0; i < maxRunning+maxQueued; i++ {
+		admitted = append(admitted, mustSubmit(t, d, "tenant-0", 0, singleSpec()))
+	}
+	_, err = d.Submit("tenant-0", 0, singleSpec())
+	wantAdmitCode(t, err, CodeTenantQueue)
+	refused := int64(1)
+
+	// Phase 2: release the executor and run the concurrent campaign.
+	hold.Store(false)
+	close(gate)
+	var (
+		mu         sync.Mutex
+		refusedCnt atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenants; ti++ {
+		head := 0
+		if ti == 0 {
+			head = len(admitted) // phase 1 already admitted these
+		}
+		wg.Add(1)
+		go func(tenant string, remaining int) {
+			defer wg.Done()
+			for i := 0; i < remaining; i++ {
+				for {
+					id, err := d.Submit(tenant, i%3, singleSpec())
+					if err == nil {
+						mu.Lock()
+						admitted = append(admitted, id)
+						mu.Unlock()
+						break
+					}
+					var aerr *AdmitError
+					if !errors.As(err, &aerr) {
+						t.Errorf("tenant %s: unstructured refusal: %v", tenant, err)
+						return
+					}
+					// Structured backpressure: honor the hint and retry.
+					refusedCnt.Add(1)
+					wait := time.Duration(aerr.RetryAfterMs) * time.Millisecond
+					if wait <= 0 {
+						wait = time.Millisecond
+					}
+					time.Sleep(wait)
+				}
+			}
+		}(fmt.Sprintf("tenant-%d", ti), perTenant-head)
+	}
+	wg.Wait()
+	refused += refusedCnt.Load()
+
+	if len(admitted) != tenants*perTenant {
+		t.Fatalf("admitted %d jobs, want %d", len(admitted), tenants*perTenant)
+	}
+	for _, id := range admitted {
+		v, ok := d.WaitJob(id, 30*time.Second)
+		if !ok || v.State != StateDone {
+			t.Fatalf("job %s: %+v (settled=%v)", id, v, ok)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Exactly-once ledger accounting for every admitted job.
+	counts := ledgerEventCounts(t, dir)
+	if len(counts) != len(admitted) {
+		t.Fatalf("ledger names %d jobs, want %d", len(counts), len(admitted))
+	}
+	for _, id := range admitted {
+		c := counts[id]
+		if c[evSubmit] != 1 {
+			t.Fatalf("job %s: %d submit records", id, c[evSubmit])
+		}
+		if terminal := c[evDone] + c[evFail] + c[evCancel]; terminal != 1 {
+			t.Fatalf("job %s: %d terminal records (%v)", id, terminal, c)
+		}
+	}
+	t.Logf("load: %d jobs admitted, %d structured refusals absorbed", len(admitted), refused)
+}

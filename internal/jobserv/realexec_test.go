@@ -1,0 +1,172 @@
+package jobserv
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"hmccoal"
+)
+
+// These tests run the production executors (realExec) end to end: real
+// simulations, real checkpoints, real Snapshot/Restore preemption. They pin
+// the service's headline guarantee — results are byte-identical across any
+// interruption history.
+
+// waitDone waits for a terminal state and asserts it is done.
+func waitDone(t *testing.T, d *Daemon, id string, timeout time.Duration) {
+	t.Helper()
+	v, ok := d.WaitJob(id, timeout)
+	if !ok {
+		t.Fatalf("job %s did not settle within %v (last: %+v)", id, timeout, v)
+	}
+	if v.State != StateDone {
+		t.Fatalf("job %s ended %s (%s), want done", id, v.State, v.Error)
+	}
+}
+
+// TestPreemptResumeEqualsUninterrupted preempts a real single-run job mid-
+// simulation via Snapshot/Restore and pins that the resumed run's result
+// bytes equal an uninterrupted run of the same spec.
+func TestPreemptResumeEqualsUninterrupted(t *testing.T) {
+	lowSpec := Spec{Kind: KindSingle, Bench: hmccoal.Benchmarks()[0], CPUs: 4, Ops: 3000, Seed: 11}
+	highSpec := Spec{Kind: KindSingle, Bench: hmccoal.Benchmarks()[1], CPUs: 2, Ops: 60, Seed: 5}
+
+	// Interrupted daemon: one slot, so the high-priority arrival preempts.
+	d1 := newTestDaemon(t, Options{Slots: 1})
+	low := mustSubmit(t, d1, "batch", 0, lowSpec)
+	waitFor(t, d1, low, "running", func(v JobView) bool { return v.State == StateRunning })
+	high := mustSubmit(t, d1, "urgent", 9, highSpec)
+
+	waitFor(t, d1, low, "preempted", func(v JobView) bool { return v.Preemptions >= 1 })
+	waitDone(t, d1, high, 60*time.Second)
+	waitDone(t, d1, low, 120*time.Second)
+	v, _ := d1.Get(low)
+	if v.Attempts < 2 {
+		t.Fatalf("low job attempts = %d, want ≥ 2 (one park, one resume)", v.Attempts)
+	}
+	interrupted, err := d1.Result(low)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+
+	// Reference daemon: same spec, never interrupted.
+	d2 := newTestDaemon(t, Options{Slots: 1})
+	ref := mustSubmit(t, d2, "batch", 0, lowSpec)
+	waitDone(t, d2, ref, 120*time.Second)
+	uninterrupted, err := d2.Result(ref)
+	if err != nil {
+		t.Fatalf("reference result: %v", err)
+	}
+
+	if !bytes.Equal(interrupted, uninterrupted) {
+		t.Fatalf("preempt+resume changed the result:\n%s\nvs uninterrupted:\n%s",
+			interrupted, uninterrupted)
+	}
+}
+
+// drainLoadSpecs is the mixed-kind campaign the drain test runs: one job of
+// every kind in flight plus queued stragglers.
+func drainLoadSpecs() []Spec {
+	return []Spec{
+		{Kind: KindSingle, Bench: hmccoal.Benchmarks()[0], CPUs: 4, Ops: 3000, Seed: 7},
+		{Kind: KindSweep, Sweep: "timeout", Bench: hmccoal.Benchmarks()[0], CPUs: 2, Ops: 120, Timeouts: []uint64{16, 28}},
+		{Kind: KindSoak, Seed: 9, Runs: 4},
+		{Kind: KindSingle, Bench: hmccoal.Benchmarks()[1], CPUs: 2, Ops: 80},
+		{Kind: KindSingle, Bench: hmccoal.Benchmarks()[2], CPUs: 2, Ops: 80},
+	}
+}
+
+// TestDrainUnderLoad drains a daemon with a full queue and in-flight jobs
+// of every kind, then has a fresh daemon adopt the ledger and finish the
+// campaign with results byte-identical to a never-drained run.
+func TestDrainUnderLoad(t *testing.T) {
+	specs := drainLoadSpecs()
+	dir := t.TempDir()
+
+	d1, err := NewDaemon(Options{Dir: dir, Slots: 3, SweepWorkers: 2})
+	if err != nil {
+		t.Fatalf("NewDaemon: %v", err)
+	}
+	var ids []string
+	for _, spec := range specs {
+		id, err := d1.Submit("load", 0, spec)
+		if err != nil {
+			t.Fatalf("submit %+v: %v", spec, err)
+		}
+		ids = append(ids, id)
+	}
+	// Wait until all three slots are busy — single, sweep and soak all in
+	// flight — then drain mid-execution.
+	deadline := time.Now().Add(15 * time.Second)
+	for d1.Status().Running < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slots never filled: %+v", d1.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := d1.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	st := d1.Status()
+	if st.Running != 0 {
+		t.Fatalf("jobs still running after drain: %+v", st)
+	}
+	// A fast job may legally finish while the drain lands; everything else
+	// must be parked or queued — never failed, canceled or lost.
+	if st.Queued+st.Done != len(ids) || st.Failed != 0 || st.Canceled != 0 {
+		t.Fatalf("drain lost jobs: %+v, want queued+done = %d", st, len(ids))
+	}
+
+	// A fresh daemon adopts the drained ledger and finishes everything.
+	d2, err := NewDaemon(Options{Dir: dir, Slots: 3, SweepWorkers: 2})
+	if err != nil {
+		t.Fatalf("adopting daemon: %v", err)
+	}
+	t.Cleanup(func() { d2.Close() })
+	for _, id := range ids {
+		waitDone(t, d2, id, 180*time.Second)
+	}
+
+	// Reference: the same campaign, never drained.
+	refDir := t.TempDir()
+	d3, err := NewDaemon(Options{Dir: refDir, Slots: 3, SweepWorkers: 2})
+	if err != nil {
+		t.Fatalf("reference daemon: %v", err)
+	}
+	t.Cleanup(func() { d3.Close() })
+	var refIDs []string
+	for _, spec := range specs {
+		id, err := d3.Submit("load", 0, spec)
+		if err != nil {
+			t.Fatalf("reference submit: %v", err)
+		}
+		refIDs = append(refIDs, id)
+	}
+	for i, id := range ids {
+		waitDone(t, d3, refIDs[i], 180*time.Second)
+		got, err := d2.Result(id)
+		if err != nil {
+			t.Fatalf("drained result %s: %v", id, err)
+		}
+		want, err := d3.Result(refIDs[i])
+		if err != nil {
+			t.Fatalf("reference result %s: %v", refIDs[i], err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("job %d (%s): drain+adopt changed the result\nafter drain: %.200s\nreference:   %.200s",
+				i, specs[i].Kind, got, want)
+		}
+	}
+
+	// The adopted ledger shows exactly one terminal record per job.
+	counts := ledgerEventCounts(t, dir)
+	for _, id := range ids {
+		if terminal := counts[id][evDone] + counts[id][evFail] + counts[id][evCancel]; terminal != 1 {
+			t.Fatalf("job %s has %d terminal records, want 1", id, terminal)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package jobserv
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"hmccoal"
+	"hmccoal/internal/soak"
+)
+
+// parkState is the in-memory resume state of a preempted single-run job:
+// the simulator snapshot plus everything needed to rebuild the system it
+// restores into. Sweep and soak jobs leave it empty — their resume state
+// is the durable JSONL checkpoint. parkState never leaves the process; a
+// crashed daemon re-runs single jobs from scratch, which is byte-identical
+// by the simulator's determinism contract.
+type parkState struct {
+	snap *hmccoal.SystemSnapshot
+	cfg  hmccoal.Config
+	accs []hmccoal.Access
+}
+
+// parkCheckInterval is how many simulator steps a single-run job advances
+// between preemption checks: small enough that park latency is
+// microseconds, large enough that the check never shows in a profile.
+const parkCheckInterval = 4096
+
+// realExec is the production executor: it dispatches a job to its kind's
+// driver and translates interruption causes into park outcomes.
+func (d *Daemon) realExec(ctl execCtl, id string, spec Spec) execOutcome {
+	switch spec.Kind {
+	case KindSingle:
+		return d.execSingle(ctl, spec)
+	case KindSweep:
+		return d.execSweep(ctl, id, spec)
+	case KindSoak:
+		return d.execSoak(ctl, id, spec)
+	default:
+		return execOutcome{err: fmt.Errorf("jobserv: unknown job kind %q", spec.Kind)}
+	}
+}
+
+// execSingle runs one benchmark under the two-phase coalescer, checking
+// for preemption every parkCheckInterval steps. A park request snapshots
+// the live simulation — the paper pipeline's Snapshot/Restore — so the
+// resumed attempt continues from the exact tick with zero recompute and a
+// summary byte-identical to an uninterrupted run.
+func (d *Daemon) execSingle(ctl execCtl, spec Spec) execOutcome {
+	var sys *hmccoal.System
+	var cfg hmccoal.Config
+	var accs []hmccoal.Access
+
+	if ctl.park != nil && ctl.park.snap != nil {
+		// Resume: rebuild the system and restore the parked snapshot.
+		cfg, accs = ctl.park.cfg, ctl.park.accs
+		restored, err := hmccoal.NewSystem(cfg)
+		if err != nil {
+			return execOutcome{err: err}
+		}
+		if err := restored.Restore(ctl.park.snap); err != nil {
+			return execOutcome{err: err}
+		}
+		sys = restored
+	} else {
+		backend, err := hmccoal.ParseBackend(spec.Backend)
+		if err != nil {
+			return execOutcome{err: err}
+		}
+		accs, err = hmccoal.GenerateTrace(spec.Bench, spec.params())
+		if err != nil {
+			return execOutcome{err: err}
+		}
+		cfg = hmccoal.DefaultConfig()
+		cfg.Mode = hmccoal.ModeTwoPhase
+		cfg.Backend = backend
+		cfg.Hierarchy.CPUs = spec.params().CPUs
+		if sys, err = hmccoal.NewSystem(cfg); err != nil {
+			return execOutcome{err: err}
+		}
+		if err := sys.Start(accs); err != nil {
+			return execOutcome{err: err}
+		}
+	}
+
+	for {
+		for i := 0; i < parkCheckInterval; i++ {
+			done, err := sys.Step()
+			if err != nil {
+				return execOutcome{err: err}
+			}
+			if done {
+				res, err := sys.Finish()
+				if err != nil {
+					return execOutcome{err: err}
+				}
+				return marshalResult(map[string]any{
+					"kind":    KindSingle,
+					"result":  res,
+					"summary": res.Summary(),
+				})
+			}
+		}
+		if err := ctl.ctx.Err(); err != nil {
+			cause := context.Cause(ctl.ctx)
+			if errors.Is(cause, errPark) || errors.Is(cause, errDrainPark) {
+				snap, serr := sys.Snapshot()
+				if serr != nil {
+					return execOutcome{err: serr}
+				}
+				return execOutcome{park: &parkState{snap: snap, cfg: cfg, accs: accs}}
+			}
+			return execOutcome{err: cause}
+		}
+	}
+}
+
+// execSweep runs one evaluation sweep grid through the public drivers.
+// Every attempt — first run, post-preemption resume, post-crash re-run —
+// executes with the same per-job checkpoint file, so completed groups
+// restore instead of recomputing and the final output is byte-identical
+// across any interruption history.
+func (d *Daemon) execSweep(ctl execCtl, id string, spec Spec) execOutcome {
+	backend, err := hmccoal.ParseBackend(spec.Backend)
+	if err != nil {
+		return execOutcome{err: err}
+	}
+	opt := hmccoal.SweepOptions{
+		Workers:    d.opt.SweepWorkers,
+		Batch:      spec.Batch,
+		Backend:    backend,
+		Dispatch:   d.opt.Dispatch,
+		Progress:   ctl.progress,
+		Checkpoint: filepath.Join(ctl.dir, "ckpt", id+"."+spec.Sweep),
+	}
+	p := spec.params()
+	ctx := ctl.ctx
+
+	var payload map[string]any
+	switch spec.Sweep {
+	case "runall":
+		runs, rerr := hmccoal.RunAllContext(ctx, p, opt)
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		payload = map[string]any{
+			"runs":     runs,
+			"figure8":  hmccoal.Figure8Table(runs),
+			"figure15": hmccoal.Figure15Table(runs),
+		}
+	case "fig14":
+		table, rerr := hmccoal.Figure14TableContext(ctx, p, spec.Timeouts, opt)
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		payload = map[string]any{"figure14": table}
+	case "timeout":
+		lat, rerr := hmccoal.TimeoutSweepContext(ctx, spec.Bench, p, spec.Timeouts, opt)
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		payload = map[string]any{"bench": spec.Bench, "latencies_ns": lat}
+	case "mshr":
+		lat, rerr := hmccoal.MSHRSweepContext(ctx, spec.Bench, p, spec.Entries, opt)
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		payload = map[string]any{"bench": spec.Bench, "latencies_ns": lat}
+	case "speedup":
+		table, rerr := hmccoal.SpeedupTableContext(ctx, p, opt)
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		payload = map[string]any{"speedup": table}
+	case "fault":
+		rows, rerr := hmccoal.FaultSweepContext(ctx, spec.Bench, p, uint64(spec.Seed), spec.BERs, opt)
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		payload = map[string]any{
+			"bench": spec.Bench,
+			"rows":  rows,
+			"table": hmccoal.FaultSweepTable(rows),
+		}
+	default:
+		err = fmt.Errorf("jobserv: unknown sweep %q", spec.Sweep)
+	}
+	if err != nil {
+		return execOutcome{err: err} // finish converts park-caused errors
+	}
+	payload["kind"] = KindSweep
+	payload["sweep"] = spec.Sweep
+	return marshalResult(payload)
+}
+
+// execSoak runs a seeded chaos campaign; its checkpoint makes every
+// classified scenario durable, so interruptions only recompute scenarios
+// that had not been classified yet.
+func (d *Daemon) execSoak(ctl execCtl, id string, spec Spec) execOutcome {
+	backend, err := hmccoal.ParseBackend(spec.Backend)
+	if err != nil {
+		return execOutcome{err: err}
+	}
+	rep, err := soak.Soak(ctl.ctx, soak.Options{
+		Seed:       spec.Seed,
+		Runs:       spec.Runs,
+		Workers:    d.opt.SweepWorkers,
+		Backend:    backend,
+		ReproDir:   filepath.Join(ctl.dir, "repros"),
+		Progress:   ctl.progress,
+		Checkpoint: filepath.Join(ctl.dir, "ckpt", id+".soak"),
+	})
+	if err != nil {
+		return execOutcome{err: err}
+	}
+	return marshalResult(map[string]any{"kind": KindSoak, "report": rep})
+}
+
+// marshalResult renders a job's terminal payload. Go's json.Marshal sorts
+// map keys, so identical data always yields identical bytes — the
+// property the byte-identical recovery tests pin.
+func marshalResult(payload map[string]any) execOutcome {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return execOutcome{err: fmt.Errorf("jobserv: encode result: %w", err)}
+	}
+	return execOutcome{result: raw}
+}

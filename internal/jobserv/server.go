@@ -1,0 +1,125 @@
+package jobserv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// NewServer wraps a Daemon in its HTTP/JSON API:
+//
+//	POST   /api/v1/jobs              submit {tenant, priority, spec}
+//	GET    /api/v1/jobs?tenant=      list jobs
+//	GET    /api/v1/jobs/{id}         poll one job
+//	GET    /api/v1/jobs/{id}/wait    long-poll until terminal (?timeout=30s)
+//	GET    /api/v1/jobs/{id}/result  fetch the result document
+//	DELETE /api/v1/jobs/{id}         cancel
+//	GET    /api/v1/status            daemon snapshot
+//
+// Admission refusals render the AdmitError as JSON with status 429 (quota,
+// rate), 503 (draining) or 400 (bad spec), plus a Retry-After header when
+// the refusal carries a wait hint.
+func NewServer(d *Daemon) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Tenant   string `json:"tenant"`
+			Priority int    `json:"priority"`
+			Spec     Spec   `json:"spec"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeAdmitError(w, &AdmitError{Code: CodeBadSpec, Message: fmt.Sprintf("decode request: %v", err)})
+			return
+		}
+		id, err := d.Submit(req.Tenant, req.Priority, req.Spec)
+		if err != nil {
+			var aerr *AdmitError
+			if errors.As(err, &aerr) {
+				writeAdmitError(w, aerr)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.List(r.URL.Query().Get("tenant")))
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := d.Get(r.PathValue("id"))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs/{id}/wait", func(w http.ResponseWriter, r *http.Request) {
+		timeout := 30 * time.Second
+		if s := r.URL.Query().Get("timeout"); s != "" {
+			t, err := time.ParseDuration(s)
+			if err != nil || t <= 0 {
+				http.Error(w, "bad timeout", http.StatusBadRequest)
+				return
+			}
+			timeout = t
+		}
+		v, done := d.WaitJob(r.PathValue("id"), timeout)
+		if v.ID == "" {
+			http.NotFound(w, r)
+			return
+		}
+		status := http.StatusOK
+		if !done {
+			status = http.StatusAccepted // still in flight; poll again
+		}
+		writeJSON(w, status, v)
+	})
+
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := d.Result(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+		w.Write(raw)
+	})
+
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := d.Cancel(r.PathValue("id")); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /api/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.Status())
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeAdmitError renders a structured admission refusal.
+func writeAdmitError(w http.ResponseWriter, aerr *AdmitError) {
+	if aerr.RetryAfterMs > 0 {
+		secs := (aerr.RetryAfterMs + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, aerr.HTTPStatus(), map[string]*AdmitError{"error": aerr})
+}

@@ -1,0 +1,50 @@
+package soak
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hmccoal/internal/trace"
+)
+
+// errFake is a deterministic unexplained failure the classifier must
+// count as Failed.
+var errFake = errors.New("synthetic soak failure")
+
+// TestSoakCheckpointResume pins the park/resume contract of soak jobs: a
+// campaign run with a checkpoint restores every classified scenario on a
+// rerun — the runner is never invoked again — and the restored report is
+// identical to the original, including a failure's shrunken repro.
+func TestSoakCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "soak.ckpt")
+	failing := func(sc Scenario, accs []trace.Access) error {
+		if sc.Index == 3 {
+			return errFake
+		}
+		return nil
+	}
+	opts := Options{Seed: 7, Runs: 8, Workers: 2, Run: failing, Checkpoint: ckpt}
+
+	first, err := Soak(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Clean != 7 || len(first.Failures) != 1 {
+		t.Fatalf("first campaign: %d clean, %d failures; want 7 and 1", first.Clean, len(first.Failures))
+	}
+
+	opts.Run = func(sc Scenario, accs []trace.Access) error {
+		t.Errorf("scenario %d re-ran despite a complete checkpoint", sc.Index)
+		return nil
+	}
+	second, err := Soak(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("restored report differs:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

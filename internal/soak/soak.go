@@ -213,6 +213,12 @@ type Options struct {
 	// HMC model (fault dimensions are neutralized for the link-less
 	// backends). The zero value keeps the legacy HMC grid untouched.
 	Backend membackend.Kind
+	// Checkpoint, when non-empty, persists every classified scenario to a
+	// JSONL file (see sweep.Options.Checkpoint) so an interrupted campaign
+	// resumes without re-running completed scenarios — the serving layer's
+	// park/resume path for soak jobs. Shrunken repros are part of the
+	// checkpointed outcome, so a restored failure keeps its repro path.
+	Checkpoint string
 }
 
 // scenario derives run i of the campaign and applies the campaign-wide
@@ -248,13 +254,14 @@ type Report struct {
 
 // result is the per-job sweep payload. Scenario outcomes are data, not job
 // errors: the grid always runs to completion and failures are collected in
-// the report, exactly what sweep.Options.KeepGoing exists for. ran guards
+// the report, exactly what sweep.Options.KeepGoing exists for. Ran guards
 // against a timed-out or panicked job's zero-value slot masquerading as a
-// clean run.
+// clean run. The fields are exported (and JSON-tagged) because the result
+// is what Options.Checkpoint persists — a restored line must round-trip.
 type result struct {
-	ran     bool
-	outcome Outcome
-	failure *Failure
+	Ran     bool     `json:"ran"`
+	Outcome Outcome  `json:"outcome"`
+	Failure *Failure `json:"failure,omitempty"`
 }
 
 // Soak runs the campaign. The returned error covers harness-level problems
@@ -275,6 +282,7 @@ func Soak(ctx context.Context, opts Options) (Report, error) {
 		JobTimeout: opts.JobTimeout,
 		KeepGoing:  true,
 		Progress:   opts.Progress,
+		Checkpoint: opts.Checkpoint,
 	}, func(ctx context.Context, i int) (result, error) {
 		sc := opts.scenario(i)
 		accs, err := sc.Trace()
@@ -284,9 +292,9 @@ func Soak(ctx context.Context, opts Options) (Report, error) {
 		runErr := run(sc, accs)
 		switch Classify(sc, runErr) {
 		case OK:
-			return result{ran: true, outcome: OK}, nil
+			return result{Ran: true, Outcome: OK}, nil
 		case Expected:
-			return result{ran: true, outcome: Expected}, nil
+			return result{Ran: true, Outcome: Expected}, nil
 		}
 		f := &Failure{Scenario: sc, Err: runErr.Error()}
 		f.Repro = Shrink(sc, accs, run, opts.ShrinkBudget)
@@ -298,7 +306,7 @@ func Soak(ctx context.Context, opts Options) (Report, error) {
 				f.ReproPath = path
 			}
 		}
-		return result{ran: true, outcome: Failed, failure: f}, nil
+		return result{Ran: true, Outcome: Failed, Failure: f}, nil
 	})
 
 	// Sweep-level job errors (timeout, panic, trace generation) belong to
@@ -307,7 +315,7 @@ func Soak(ctx context.Context, opts Options) (Report, error) {
 	collectJobErrs(err, jobErrs)
 
 	for i, r := range results {
-		if !r.ran {
+		if !r.Ran {
 			msg, ok := jobErrs[i]
 			if !ok {
 				msg = "scenario did not run (sweep aborted)"
@@ -317,14 +325,14 @@ func Soak(ctx context.Context, opts Options) (Report, error) {
 			})
 			continue
 		}
-		switch r.outcome {
+		switch r.Outcome {
 		case OK:
 			rep.Clean++
 		case Expected:
 			rep.Expected++
 		case Failed:
-			if r.failure != nil {
-				rep.Failures = append(rep.Failures, *r.failure)
+			if r.Failure != nil {
+				rep.Failures = append(rep.Failures, *r.Failure)
 			}
 		}
 	}

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -197,7 +198,7 @@ func MapBatch[T any](ctx context.Context, n, batch int, opts Options, fn func(ct
 		if err != nil {
 			return results, err
 		}
-		ckpt, err = os.OpenFile(opts.Checkpoint, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		ckpt, err = openCheckpoint(opts.Checkpoint)
 		if err != nil {
 			return results, fmt.Errorf("sweep: checkpoint: %w", err)
 		}
@@ -412,7 +413,10 @@ func restoreCheckpoint[T any](path string, n int, backend string, results []T, r
 // group recorded by finish is on disk before the sweep moves on. There is
 // no deferred flush to lose: cancellation (or a crash) after a group's
 // append costs nothing, and mid-append it tears at most the final line,
-// which restore skips. Does nothing when checkpointing is off.
+// which restore skips. Every append is fsync'd before finish counts the
+// group as done, so a power loss can only take the lines after the last
+// sync — never reorder a complete, acknowledged line behind a torn one.
+// Does nothing when checkpointing is off.
 func appendCheckpoint[T any](f *os.File, idxs []int, n int, backend string, rs []T) error {
 	if f == nil {
 		return nil
@@ -432,5 +436,43 @@ func appendCheckpoint[T any](f *os.File, idxs []int, n int, backend string, rs [
 	if _, err := f.Write(buf); err != nil {
 		return fmt.Errorf("sweep: checkpoint group at job %d: %w", idxs[0], err)
 	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("sweep: checkpoint sync: %w", err)
+	}
 	return nil
+}
+
+// openCheckpoint opens the checkpoint for appending, creating a missing
+// file via temp-file + atomic rename (plus a directory sync) so the file
+// either exists completely or not at all — a crash during creation can
+// never leave a half-born directory entry for a later resume to trip on.
+func openCheckpoint(path string) (*os.File, error) {
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		dir := filepath.Dir(path)
+		tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+		if err != nil {
+			return nil, err
+		}
+		tmpName := tmp.Name()
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmpName)
+			return nil, err
+		}
+		if err := os.Rename(tmpName, path); err != nil {
+			os.Remove(tmpName)
+			return nil, err
+		}
+		syncDir(dir)
+	}
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+// Best-effort: filesystems that reject directory fsync lose nothing but
+// the stronger guarantee.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }

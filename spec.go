@@ -258,14 +258,28 @@ type traceKey struct {
 	cpus  int
 }
 
+// TraceCacheStats counts a worker's trace-cache behavior across every
+// group it ran: a hit is a group finding its benchmark's trace already
+// resident (or being generated by a concurrent slot), a miss pays a full
+// generation, and an eviction drops the oldest resident trace past the
+// cache cap. The counters are monotonic over a SweepRunner's lifetime;
+// the dsweep protocol ships them back with every result so the
+// coordinator's Status() can show cache effectiveness per worker.
+type TraceCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
 // traceCache shares generated traces across a worker's job groups (and
 // its concurrent slots), evicting the oldest entry beyond the cap.
 // Distinct benchmarks generate concurrently; same-benchmark callers
 // serialize on the entry.
 type traceCache struct {
-	mu   sync.Mutex
-	keys []traceKey
-	m    map[traceKey]*traceCacheEntry
+	mu    sync.Mutex
+	keys  []traceKey
+	m     map[traceKey]*traceCacheEntry
+	stats TraceCacheStats
 }
 
 type traceCacheEntry struct {
@@ -284,13 +298,17 @@ func (c *traceCache) get(bench string, p TraceParams, cpus int) ([]Access, *Trac
 	}
 	e, ok := c.m[key]
 	if !ok {
+		c.stats.Misses++
 		e = &traceCacheEntry{}
 		c.m[key] = e
 		c.keys = append(c.keys, key)
 		if len(c.keys) > traceCacheEntries {
+			c.stats.Evictions++
 			delete(c.m, c.keys[0])
 			c.keys = c.keys[1:]
 		}
+	} else {
+		c.stats.Hits++
 	}
 	c.mu.Unlock()
 
@@ -306,42 +324,57 @@ func (c *traceCache) get(bench string, p TraceParams, cpus int) ([]Access, *Trac
 	return e.accs, e.idx, e.err
 }
 
-// NewSweepRunner returns the worker-side executor for distributed sweep
-// groups — the function a dsweep worker hands every job it pulls. The
-// runner decodes the SweepSpec, regenerates the group's benchmark traces
-// (cached across groups, so a sweep's repeat visits to one benchmark pay
-// generation once), runs the simulation jobs on the spec's lockstep lanes
-// and returns one JSON-encoded SweepCell per index. Errors are
-// deterministic job failures; the coordinator fails the group rather than
-// retrying them elsewhere.
-func NewSweepRunner() func(ctx context.Context, rawSpec []byte, idxs []int) ([]json.RawMessage, error) {
-	var cache traceCache
-	return func(ctx context.Context, rawSpec []byte, idxs []int) ([]json.RawMessage, error) {
-		var spec SweepSpec
-		if err := json.Unmarshal(rawSpec, &spec); err != nil {
-			return nil, fmt.Errorf("hmccoal: sweep spec: %w", err)
-		}
-		g, err := spec.compile()
-		if err != nil {
-			return nil, err
-		}
-		for _, i := range idxs {
-			if i < 0 || i >= g.n() {
-				return nil, fmt.Errorf("hmccoal: job index %d outside the %d-job %s grid", i, g.n(), spec.Kind)
-			}
-		}
-		cells, err := runSpecGroup(g, spec.Batch, idxs, func(b int) ([]Access, *TraceIndex, error) {
-			return cache.get(g.benches[b], spec.Params, g.base.Hierarchy.CPUs)
-		})
-		if err != nil {
-			return nil, err
-		}
-		raw := make([]json.RawMessage, len(cells))
-		for k := range cells {
-			if raw[k], err = json.Marshal(cells[k]); err != nil {
-				return nil, fmt.Errorf("hmccoal: encode cell %d: %w", idxs[k], err)
-			}
-		}
-		return raw, nil
+// SweepRunner is the worker-side executor for distributed sweep groups:
+// Run is the function a dsweep worker hands every job it pulls, and
+// CacheStats exposes the trace cache's hit/miss/eviction counters for the
+// Result protocol (dsweep.WorkOptions.CacheStats).
+type SweepRunner struct {
+	cache traceCache
+}
+
+// NewSweepRunner builds the worker-side executor. Run decodes the
+// SweepSpec, regenerates the group's benchmark traces (cached across
+// groups, so a sweep's repeat visits to one benchmark pay generation
+// once), runs the simulation jobs on the spec's lockstep lanes and
+// returns one JSON-encoded SweepCell per index. Errors are deterministic
+// job failures; the coordinator fails the group rather than retrying them
+// elsewhere.
+func NewSweepRunner() *SweepRunner { return &SweepRunner{} }
+
+// CacheStats snapshots the runner's trace-cache counters. Safe for
+// concurrent use with Run.
+func (r *SweepRunner) CacheStats() TraceCacheStats {
+	r.cache.mu.Lock()
+	defer r.cache.mu.Unlock()
+	return r.cache.stats
+}
+
+// Run executes one sweep job group; it has the dsweep.GroupRunner shape.
+func (r *SweepRunner) Run(ctx context.Context, rawSpec []byte, idxs []int) ([]json.RawMessage, error) {
+	var spec SweepSpec
+	if err := json.Unmarshal(rawSpec, &spec); err != nil {
+		return nil, fmt.Errorf("hmccoal: sweep spec: %w", err)
 	}
+	g, err := spec.compile()
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range idxs {
+		if i < 0 || i >= g.n() {
+			return nil, fmt.Errorf("hmccoal: job index %d outside the %d-job %s grid", i, g.n(), spec.Kind)
+		}
+	}
+	cells, err := runSpecGroup(g, spec.Batch, idxs, func(b int) ([]Access, *TraceIndex, error) {
+		return r.cache.get(g.benches[b], spec.Params, g.base.Hierarchy.CPUs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]json.RawMessage, len(cells))
+	for k := range cells {
+		if raw[k], err = json.Marshal(cells[k]); err != nil {
+			return nil, fmt.Errorf("hmccoal: encode cell %d: %w", idxs[k], err)
+		}
+	}
+	return raw, nil
 }
