@@ -51,7 +51,7 @@ import (
 var validFigs = map[string]bool{
 	"all": true, "1": true, "2": true, "8": true, "9": true, "10": true,
 	"11": true, "12": true, "13": true, "14": true, "15": true, "fault": true,
-	"speedup": true,
+	"speedup": true, "stride": true,
 }
 
 // Exit codes: flag/config mistakes are the user's to fix (1); a failed or
@@ -86,6 +86,8 @@ func run(argv []string) int {
 		checks      = fs.Bool("checks", false, "enable the runtime invariant checker in every simulation (results identical; violations become errors)")
 		checkpoint  = fs.String("checkpoint", "", "JSONL checkpoint base path: each sweep persists completed jobs to <base>.<sweep> and resumes from it")
 		backend     = fs.String("backend", "hmc", "memory backend behind the coalescer: hmc, ddr or ideal")
+		frontendF   = fs.String("frontend", "two-phase", "coalescing front-end between the LLC and the backend: two-phase or warp")
+		sched       = fs.String("sched", "frfcfs", "issue policy inside the front-end: frfcfs or hetero")
 		runBench    = fs.String("run", "", "run one benchmark once (two-phase) and print its summary; combines with -backend, -faults and -snapshot-at")
 		snapshotAt  = fs.Uint64("snapshot-at", 0, "with -run: snapshot at this tick, restore into a fresh system, and finish from the snapshot — the summary is byte-identical to the uninterrupted run")
 		faults      = fs.String("faults", "", "with -run: link fault injection (hmc backend only), e.g. seed=1,ber=1e-6[,drop=1e-7][,retries=3]")
@@ -150,6 +152,14 @@ func run(argv []string) int {
 	if err != nil {
 		return usageErr(err)
 	}
+	feKind, err := hmccoal.ParseFrontend(*frontendF)
+	if err != nil {
+		return usageErr(err)
+	}
+	schedKind, err := hmccoal.ParseSched(*sched)
+	if err != nil {
+		return usageErr(err)
+	}
 
 	var dispatch hmccoal.Dispatcher
 	if *serve != "" {
@@ -188,7 +198,7 @@ func run(argv []string) int {
 			return usageErr(fmt.Errorf("fault injection is HMC-only; -backend must be hmc, not %v", kind))
 		}
 		p := hmccoal.TraceParams{CPUs: *cpus, OpsPerCPU: *ops, Seed: *seed}
-		if err := runOnce(*runBench, p, kind, faultCfg, *checks, *snapshotAt); err != nil {
+		if err := runOnce(*runBench, p, kind, feKind, schedKind, faultCfg, *checks, *snapshotAt); err != nil {
 			return runErr(err)
 		}
 		return 0
@@ -218,7 +228,7 @@ func run(argv []string) int {
 	for _, f := range strings.Split(*fig, ",") {
 		f = strings.TrimSpace(f)
 		if !validFigs[f] {
-			return usageErr(fmt.Errorf("unknown figure %q (valid: 1, 2, 8, 9, 10, 11, 12, 13, 14, 15, fault, all)", f))
+			return usageErr(fmt.Errorf("unknown figure %q (valid: 1, 2, 8, 9, 10, 11, 12, 13, 14, 15, fault, speedup, stride, all)", f))
 		}
 		want[f] = true
 	}
@@ -236,6 +246,7 @@ func run(argv []string) int {
 
 	opts := func(tag string) hmccoal.SweepOptions {
 		opt := sweepOptions(*workers, *batch, *checks, *checkpoint, tag, kind)
+		opt.Frontend, opt.Sched = feKind, schedKind
 		opt.Dispatch = dispatch
 		return opt
 	}
@@ -325,6 +336,18 @@ func run(argv []string) int {
 		}
 		fmt.Print(table)
 	}
+	// The stride-ladder front-end comparison is explicit-only for the same
+	// reason; it sweeps the front-end × scheduler axes itself, so the
+	// -frontend/-sched flags do not apply to it.
+	if want["stride"] {
+		section("Stride ladder — front-end coalescing efficiency vs access stride")
+		runs, err := hmccoal.StrideLadderContext(ctx, p, opts("stride"))
+		fmt.Fprintln(os.Stderr)
+		if err != nil {
+			return runErr(err)
+		}
+		fmt.Print(hmccoal.StrideLadderTable(runs))
+	}
 	if need("fault") {
 		section(fmt.Sprintf("Fault sweep — efficiency and speedup vs link error rate (%s)", *bench))
 		rows, err := hmccoal.FaultSweepContext(ctx, *bench, p, uint64(*seed), nil, opts("fault"))
@@ -394,7 +417,7 @@ func replayTrace(accs []trace.Access, cpus int, checks, asJSON bool) error {
 // from the snapshot — stdout is byte-identical to the uninterrupted run
 // (snapshot details go to stderr), which is exactly what the CI
 // determinism check diffs.
-func runOnce(bench string, p hmccoal.TraceParams, kind hmccoal.BackendKind, faultCfg hmccoal.FaultConfig, checks bool, snapAt uint64) error {
+func runOnce(bench string, p hmccoal.TraceParams, kind hmccoal.BackendKind, fe hmccoal.FrontendKind, sched hmccoal.SchedKind, faultCfg hmccoal.FaultConfig, checks bool, snapAt uint64) error {
 	accs, err := hmccoal.GenerateTrace(bench, p)
 	if err != nil {
 		return err
@@ -402,6 +425,8 @@ func runOnce(bench string, p hmccoal.TraceParams, kind hmccoal.BackendKind, faul
 	cfg := hmccoal.DefaultConfig()
 	cfg.Mode = hmccoal.ModeTwoPhase
 	cfg.Backend = kind
+	cfg.Frontend = fe
+	cfg.Sched = sched
 	cfg.Checks = checks
 	cfg.HMC.Fault = faultCfg
 	sys, err := hmccoal.NewSystem(cfg)
@@ -421,7 +446,13 @@ func runOnce(bench string, p hmccoal.TraceParams, kind hmccoal.BackendKind, faul
 			return err
 		}
 	}
-	section(fmt.Sprintf("%s on the %v backend (two-phase)", bench, kind))
+	// The default front-end keeps the historical title, so determinism
+	// checks diffing default-run stdout stay byte-identical.
+	title := fmt.Sprintf("%s on the %v backend (two-phase)", bench, kind)
+	if fe != hmccoal.FrontendTwoPhase || sched != hmccoal.SchedFRFCFS {
+		title = fmt.Sprintf("%s on the %v backend (%v front-end, %v)", bench, kind, fe, sched)
+	}
+	section(title)
 	fmt.Print(res.Summary())
 	return nil
 }

@@ -8,6 +8,13 @@
 //	hmcsim -sweep                       # request-size sweep
 //	hmcsim -pattern seq -size 64        # one traffic pattern
 //	hmcsim -pattern scatter16           # the 16×16 B motivating example
+//	hmcsim -pattern scatter16 -frontend two-phase # same, coalesced first
+//
+// With -frontend the pattern's requests are routed through a coalescing
+// front-end (the paper's two-phase coalescer or the GPU-style warp unit,
+// with -sched picking the issue policy) before they reach the device —
+// the scatter16 example then shows the coalescer repairing exactly the
+// packet economics the raw run demonstrates.
 //
 // Exit codes: 0 success, 1 usage/configuration error, 2 device run
 // failure.
@@ -21,9 +28,12 @@ import (
 	"math/rand"
 	"os"
 
+	"hmccoal/internal/coalescer"
 	"hmccoal/internal/fault"
+	"hmccoal/internal/frontend"
 	"hmccoal/internal/hmc"
 	"hmccoal/internal/membackend"
+	"hmccoal/internal/mshr"
 	"hmccoal/internal/profiling"
 	"hmccoal/internal/sweep"
 )
@@ -50,6 +60,8 @@ func run(argv []string) int {
 		workers   = fs.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = serial)")
 		batch     = fs.Int("batch", 0, "sweep points grouped per worker job (0/1 = one at a time)")
 		backend   = fs.String("backend", "hmc", "memory backend: hmc, ddr or ideal")
+		frontendF = fs.String("frontend", "", "route the pattern through a coalescing front-end before the device: two-phase or warp ('' = raw device traffic)")
+		schedF    = fs.String("sched", "", "with -frontend: issue policy inside the front-end, frfcfs or hetero")
 		faults    = fs.String("faults", "", "link fault injection (hmc backend only), e.g. seed=1,ber=1e-6[,drop=1e-7][,retries=3]")
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -74,6 +86,20 @@ func run(argv []string) int {
 		return usageErr(fmt.Errorf("-faults: %w", err))
 	}
 	kind, err := membackend.ParseKind(*backend)
+	if err != nil {
+		return usageErr(err)
+	}
+	if *frontendF == "" && *schedF != "" {
+		return usageErr(errors.New("-sched only applies with -frontend"))
+	}
+	if *frontendF != "" && *sizeSweep {
+		return usageErr(errors.New("-frontend only applies to pattern runs, not -sweep"))
+	}
+	feKind, err := frontend.ParseKind(*frontendF)
+	if err != nil {
+		return usageErr(err)
+	}
+	schedKind, err := frontend.ParseSched(*schedF)
 	if err != nil {
 		return usageErr(err)
 	}
@@ -155,6 +181,14 @@ func run(argv []string) int {
 		last = max(last, done)
 		return nil
 	}
+	var drv *coalescedDriver
+	if *frontendF != "" {
+		drv, err = newCoalescedDriver(feKind, schedKind, dev)
+		if err != nil {
+			return usageErr(err)
+		}
+		step = drv.step
+	}
 	var runErrV error
 	switch *pattern {
 	case "seq":
@@ -180,6 +214,15 @@ func run(argv []string) int {
 	if runErrV != nil {
 		return runErr(runErrV)
 	}
+	if drv != nil {
+		if err := drv.finish(); err != nil {
+			return runErr(err)
+		}
+		last = max(last, drv.last)
+		fs := drv.fr.Stats()
+		fmt.Printf("front-end %v (%v): %d line requests -> %d memory packets (%.2f%% coalescing efficiency)\n",
+			feKind, schedKind, fs.Requests, fs.HMCRequests, 100*fs.CoalescingEfficiency())
+	}
 
 	s := dev.Stats()
 	fmt.Printf("pattern %s (%s backend): %d requests\n", *pattern, kind, s.Requests)
@@ -195,6 +238,108 @@ func run(argv []string) int {
 		fmt.Printf("  poisoned responses   %d (%d dropped)\n", s.PoisonedResponses, s.DroppedResponses)
 	}
 	return 0
+}
+
+// coalescedDriver routes pattern requests through a coalescing front-end
+// before the device, mirroring the simulator's LLC-miss issue path: each
+// access splits into per-line requests, the front-end batches and merges
+// them, and issued packets reach the device through SubmitPacket. The
+// request lane is the address's 256 B block modulo the lane count, so a
+// block's scattered loads share one lane — the scatter16 pattern is then
+// exactly the motivating example the front-end exists to repair.
+type coalescedDriver struct {
+	fr     frontend.Frontend
+	now    uint64
+	token  uint64
+	last   uint64
+	devErr error
+}
+
+const (
+	driverLineBytes  = 64
+	driverBlockBytes = 256
+	driverLanes      = 16
+)
+
+func newCoalescedDriver(fe frontend.Kind, sched frontend.SchedKind, dev membackend.Backend) (*coalescedDriver, error) {
+	d := &coalescedDriver{}
+	fr, err := frontend.New(frontend.Config{
+		Kind: fe, Sched: sched, Lanes: driverLanes,
+		Coalescer: coalescer.DefaultConfig(),
+	},
+		func(tick uint64, e *mshr.Entry) coalescer.IssueResult {
+			packet := uint32(e.Lines()) * driverLineBytes
+			requested := uint32(e.Payload())
+			if requested > packet {
+				requested = packet
+			}
+			comp, err := dev.SubmitPacket(tick, hmc.Request{
+				Addr:           e.BaseLine() * driverLineBytes,
+				PacketBytes:    packet,
+				RequestedBytes: requested,
+				Write:          e.Write(),
+			})
+			if err != nil {
+				if d.devErr == nil {
+					d.devErr = err
+				}
+				return coalescer.IssueResult{Done: tick}
+			}
+			return coalescer.IssueResult{
+				Done:    comp.Done,
+				Fault:   comp.Poisoned,
+				Dropped: comp.Dropped,
+				Retries: comp.Retries,
+			}
+		},
+		func(tick uint64, subs []mshr.Sub, fault bool) {
+			if tick != coalescer.NeverTick && tick > d.last {
+				d.last = tick
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	d.fr = fr
+	return d, nil
+}
+
+// step presents one pattern access to the front-end, split into line
+// requests as the LLC miss path would deliver them.
+func (d *coalescedDriver) step(addr uint64, size uint32) error {
+	for off := uint64(0); off < uint64(size); {
+		line := (addr + off) / driverLineBytes
+		chunk := (line+1)*driverLineBytes - (addr + off)
+		if rest := uint64(size) - off; chunk > rest {
+			chunk = rest
+		}
+		d.fr.Push(d.now, coalescer.Request{
+			Line:    line,
+			Payload: uint32(chunk),
+			Token:   d.token,
+			CPU:     uint8((addr + off) / driverBlockBytes % driverLanes),
+		})
+		d.token++
+		off += chunk
+	}
+	d.now += 2
+	d.fr.Advance(d.now)
+	return d.devErr
+}
+
+// finish drains the front-end and audits its conservation laws.
+func (d *coalescedDriver) finish() error {
+	end, err := d.fr.Drain(d.now)
+	if err != nil {
+		return err
+	}
+	if d.devErr != nil {
+		return d.devErr
+	}
+	if end > d.last {
+		d.last = end
+	}
+	return d.fr.CheckDrained(end)
 }
 
 // newBackend builds the selected memory backend; fault injection is

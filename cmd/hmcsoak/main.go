@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"time"
 
+	"hmccoal/internal/frontend"
 	"hmccoal/internal/membackend"
 	"hmccoal/internal/soak"
 )
@@ -38,16 +39,18 @@ func main() {
 func run(argv []string) int {
 	fs := flag.NewFlagSet("hmcsoak", flag.ContinueOnError)
 	var (
-		seed     = fs.Int64("seed", 1, "soak seed; the whole scenario grid is a pure function of it")
-		runs     = fs.Int("runs", 50, "number of scenarios to run")
-		workers  = fs.Int("workers", 0, "worker pool size (0 = all cores)")
-		timeout  = fs.Duration("timeout", 2*time.Minute, "per-scenario wall-clock budget (0 = unbounded)")
-		reproDir = fs.String("repro-dir", "testdata/repros", "directory for shrunken repro files ('' disables)")
-		budget   = fs.Int("shrink-budget", soak.DefaultShrinkBudget, "max re-runs the shrinker may spend per failure")
-		replay   = fs.String("replay", "", "replay a repro JSON file instead of soaking")
-		ckpt     = fs.String("checkpoint", "", "JSONL checkpoint file: completed scenarios persist and an interrupted campaign resumes from it")
-		backend  = fs.String("backend", "hmc", "memory backend to soak: hmc, ddr or ideal")
-		verbose  = fs.Bool("v", false, "print per-scenario progress")
+		seed      = fs.Int64("seed", 1, "soak seed; the whole scenario grid is a pure function of it")
+		runs      = fs.Int("runs", 50, "number of scenarios to run")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		timeout   = fs.Duration("timeout", 2*time.Minute, "per-scenario wall-clock budget (0 = unbounded)")
+		reproDir  = fs.String("repro-dir", "testdata/repros", "directory for shrunken repro files ('' disables)")
+		budget    = fs.Int("shrink-budget", soak.DefaultShrinkBudget, "max re-runs the shrinker may spend per failure")
+		replay    = fs.String("replay", "", "replay a repro JSON file instead of soaking")
+		ckpt      = fs.String("checkpoint", "", "JSONL checkpoint file: completed scenarios persist and an interrupted campaign resumes from it")
+		backend   = fs.String("backend", "hmc", "memory backend to soak: hmc, ddr or ideal")
+		frontendF = fs.String("frontend", "two-phase", "coalescing front-end to soak: two-phase or warp")
+		sched     = fs.String("sched", "frfcfs", "issue policy inside the front-end: frfcfs or hetero")
+		verbose   = fs.Bool("v", false, "print per-scenario progress")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -78,11 +81,21 @@ func run(argv []string) int {
 		fmt.Fprintln(os.Stderr, "hmcsoak:", err)
 		return exitUsage
 	}
+	feKind, err := frontend.ParseKind(*frontendF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmcsoak:", err)
+		return exitUsage
+	}
+	schedKind, err := frontend.ParseSched(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmcsoak:", err)
+		return exitUsage
+	}
 
 	opts := soak.Options{
 		Seed: *seed, Runs: *runs, Workers: *workers,
 		JobTimeout: *timeout, ReproDir: *reproDir, ShrinkBudget: *budget,
-		Backend: kind, Checkpoint: *ckpt,
+		Backend: kind, Frontend: feKind, Sched: schedKind, Checkpoint: *ckpt,
 	}
 	if *verbose {
 		opts.Progress = func(done, total int) {

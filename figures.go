@@ -277,6 +277,30 @@ func FaultSweepTable(rows []FaultSweepRow) string {
 	return rows2(out)
 }
 
+// StrideLadderTable renders the front-end efficiency ladder: coalescing
+// efficiency per stride under every {front-end × scheduler} combination,
+// plus each combination's device bandwidth efficiency. Stride 1 walks
+// adjacent lines (everything merges) and each rung doubles the gap until
+// nothing does — how much each front-end extracts from the dense rungs,
+// and where its merging collapses, is the comparison the figure makes.
+func StrideLadderTable(runs []StrideRun) string {
+	header := []string{"stride", "metric"}
+	for _, c := range strideCombos {
+		header = append(header, fmt.Sprintf("%v/%v", c.fe, c.sched))
+	}
+	rows := [][]string{header}
+	for _, r := range runs {
+		eff := []string{r.Name, "coalescing"}
+		bw := []string{"", "bandwidth"}
+		for k := range strideCombos {
+			eff = append(eff, metrics.Pct(r.Results[k].CoalescingEfficiency()))
+			bw = append(bw, metrics.Pct(r.Results[k].CoalescedBandwidthEfficiency()))
+		}
+		rows = append(rows, eff, bw)
+	}
+	return rows2(rows)
+}
+
 // rows2 formats a table (indirection keeps metrics out of the public API).
 func rows2(rows [][]string) string { return metrics.Table(rows) }
 

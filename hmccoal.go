@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"hmccoal/internal/fault"
+	"hmccoal/internal/frontend"
 	"hmccoal/internal/membackend"
 	"hmccoal/internal/sim"
 	"hmccoal/internal/trace"
@@ -62,6 +63,15 @@ type (
 	// (Config.Backend): the HMC model, a DDR-like single-channel baseline,
 	// or an ideal zero-contention device. The zero value is the HMC.
 	BackendKind = membackend.Kind
+	// FrontendKind selects the coalescing front-end between the LLC and
+	// the memory backend (Config.Frontend): the paper's two-phase
+	// coalescer or a GPU-style warp coalescing unit. The zero value is
+	// the two-phase coalescer.
+	FrontendKind = frontend.Kind
+	// SchedKind selects the issue policy inside the front-end
+	// (Config.Sched): strict FR-FCFS or the heterogeneity-aware
+	// scheduler. The zero value is FR-FCFS.
+	SchedKind = frontend.SchedKind
 	// SystemSnapshot is a deterministic mid-run snapshot of a System
 	// (System.Snapshot / System.Restore): restoring it into a fresh system
 	// built from the same Config and stepping to completion reproduces the
@@ -90,12 +100,43 @@ const (
 	BackendIdeal = membackend.KindIdeal
 )
 
+// Coalescing front-ends selectable via Config.Frontend.
+const (
+	// FrontendTwoPhase is the paper's two-phase coalescer (the default).
+	FrontendTwoPhase = frontend.KindTwoPhase
+	// FrontendWarp is the GPU-style warp coalescing unit.
+	FrontendWarp = frontend.KindWarp
+)
+
+// Issue policies selectable via Config.Sched.
+const (
+	// SchedFRFCFS issues queued packets strictly in arrival order (the
+	// default).
+	SchedFRFCFS = frontend.SchedFRFCFS
+	// SchedHetero favors criticality-hinted requests and starved lanes.
+	SchedHetero = frontend.SchedHetero
+)
+
 // ParseBackend resolves a backend name ("hmc", "ddr", "ideal"; "" is the
 // HMC default) for CLI flags.
 func ParseBackend(s string) (BackendKind, error) { return membackend.ParseKind(s) }
 
 // Backends lists the selectable backend names.
 func Backends() []string { return membackend.Kinds() }
+
+// ParseFrontend resolves a front-end name ("two-phase", "warp"; "" is the
+// two-phase default) for CLI flags.
+func ParseFrontend(s string) (FrontendKind, error) { return frontend.ParseKind(s) }
+
+// Frontends lists the selectable front-end names.
+func Frontends() []string { return frontend.Kinds() }
+
+// ParseSched resolves a scheduler name ("frfcfs", "hetero"; "" is the
+// FR-FCFS default) for CLI flags.
+func ParseSched(s string) (SchedKind, error) { return frontend.ParseSched(s) }
+
+// Scheds lists the selectable scheduler names.
+func Scheds() []string { return frontend.Scheds() }
 
 // ParseFaultFlag decodes the shared -faults CLI syntax ("seed=1,ber=1e-6,
 // drop=1e-7,retries=3"); an empty string disables injection.

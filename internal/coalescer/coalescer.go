@@ -26,6 +26,34 @@ import (
 // conservation violation.
 var ErrWatchdog = errors.New("watchdog")
 
+// Sched selects the issue policy the CRQ head uses when dispatching
+// packets into the MSHRs. The zero value is the strict first-ready FCFS
+// order every configuration used before schedulers existed.
+type Sched int
+
+// Issue policies.
+const (
+	// SchedFRFCFS services the CRQ strictly in FIFO arrival order, issuing
+	// the head as soon as it is ready — the paper's implicit policy.
+	SchedFRFCFS Sched = iota
+	// SchedHetero is the heterogeneity-aware policy: among ready packets it
+	// prefers criticality-hinted requests (demand loads a core blocks on)
+	// and, within a criticality class, the lane that has moved the fewest
+	// bytes so far — deprioritizing bandwidth-hog cores so a streaming
+	// accelerator cannot starve latency-sensitive CPUs. Ties fall back to
+	// FIFO order, keeping the policy deterministic.
+	SchedHetero
+)
+
+// Validate rejects scheduler values no issue path exists for.
+func (s Sched) Validate() error {
+	switch s {
+	case SchedFRFCFS, SchedHetero:
+		return nil
+	}
+	return fmt.Errorf("coalescer: unknown scheduler %d", int(s))
+}
+
 // Config parameterizes the coalescer. The zero value is not valid; start
 // from DefaultConfig.
 type Config struct {
@@ -91,6 +119,10 @@ type Config struct {
 	// the defaults (64 packets, 0.25).
 	DegradeWindow    int
 	DegradeThreshold float64
+
+	// Sched selects the CRQ issue policy. The zero value (SchedFRFCFS) is
+	// the strict FIFO order of every pre-scheduler configuration.
+	Sched Sched
 }
 
 // DefaultConfig returns the paper's evaluation configuration with both
@@ -127,6 +159,12 @@ type Request struct {
 	Write   bool
 	Payload uint32 // useful bytes wanted from the line
 	Token   uint64 // opaque completion token returned to the caller
+	// CPU is the issuing lane, the heterogeneity-aware scheduler's
+	// fairness key. Critical is the trace layer's optional hint that a core
+	// is blocked on this request (a demand load). Both are ignored — and
+	// free — under the default FR-FCFS policy.
+	CPU      uint8
+	Critical bool
 }
 
 // NeverTick marks a response that will never arrive; it mirrors
@@ -199,6 +237,11 @@ type Coalescer struct {
 	stats       Stats
 	linesBlock  uint64 // lines per HMC block
 
+	// laneBytes is the heterogeneity-aware scheduler's per-lane issued-byte
+	// account, indexed by Request.CPU. It is nil under FR-FCFS, so the
+	// default configuration allocates and pays nothing for scheduling.
+	laneBytes []uint64
+
 	// Fault-recovery state. retryQ is a min-heap of failed spans awaiting
 	// re-issue after backoff, ordered by (ready, seq) so retries release
 	// deterministically. faultWin is the degraded-mode sliding window over
@@ -235,6 +278,8 @@ type packet struct {
 	blocked  bool   // a previous insert attempt found the file packed
 	attempt  int    // how many times this span has already failed
 	seq      uint64 // retry-queue tie-break, in failure order
+	cpu      uint8  // issuing lane (scheduler fairness key)
+	critical bool   // criticality hint carried from the request
 }
 
 // Validate checks the configuration without building anything. New calls
@@ -255,6 +300,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.DegradeThreshold < 0 || cfg.DegradeThreshold > 1 {
 		return fmt.Errorf("coalescer: degrade threshold %v outside [0,1]", cfg.DegradeThreshold)
+	}
+	if err := cfg.Sched.Validate(); err != nil {
+		return err
 	}
 	mcfg := cfg.MSHR
 	mcfg.LineBytes = cfg.LineBytes
@@ -305,6 +353,9 @@ func New(cfg Config, issue IssueFunc, complete CompleteFunc) (*Coalescer, error)
 	}
 	pad := c.flushPad
 	c.padSwap = func(i, j int) { pad[i], pad[j] = pad[j], pad[i] }
+	if cfg.Sched == SchedHetero {
+		c.laneBytes = make([]uint64, 256) // full uint8 lane space
+	}
 	return c, nil
 }
 
@@ -458,7 +509,7 @@ func (c *Coalescer) Push(now uint64, r Request) {
 		c.enqueuePacket(now, packet{
 			baseLine: r.Line, lines: 1, write: r.Write,
 			targets: append(c.getTargets(), mshr.Target{Line: r.Line, Token: r.Token, Payload: r.Payload}),
-			ready:   now,
+			ready:   now, cpu: r.CPU, critical: r.Critical,
 		})
 		c.drainCRQ(now)
 		return
@@ -491,7 +542,7 @@ func (c *Coalescer) Push(now uint64, r Request) {
 		c.enqueuePacket(now, packet{
 			baseLine: r.Line, lines: 1, write: r.Write,
 			targets: append(c.getTargets(), mshr.Target{Line: r.Line, Token: r.Token, Payload: r.Payload}),
-			ready:   now,
+			ready:   now, cpu: r.CPU, critical: r.Critical,
 		})
 		c.drainCRQ(now)
 		return
@@ -571,11 +622,29 @@ func (c *Coalescer) NextEvent() (uint64, bool) {
 		next = c.retryQ[0].ready
 	}
 	if c.crqLen > 0 {
-		if ready := c.crqFront().ready; ready > c.lastAdvance && ready < next {
+		if ready := c.crqNextReady(); ready > c.lastAdvance && ready < next {
 			next = ready
 		}
 	}
 	return next, next != ^uint64(0)
+}
+
+// crqNextReady returns the earliest ready tick among queued packets: the
+// head's under FIFO (strict order), the minimum over the whole CRQ under
+// the heterogeneity-aware scheduler — which may issue out of FIFO order,
+// so a later packet becoming ready is a real event.
+func (c *Coalescer) crqNextReady() uint64 {
+	if c.laneBytes == nil || c.crqFront().blocked {
+		return c.crqFront().ready
+	}
+	next := c.crqFront().ready
+	mask := len(c.crqBuf) - 1
+	for i := 1; i < c.crqLen; i++ {
+		if r := c.crqBuf[(c.crqHead+i)&mask].ready; r < next {
+			next = r
+		}
+	}
+	return next
 }
 
 // Drain flushes all pending state and runs the clock forward until every
@@ -604,7 +673,7 @@ func (c *Coalescer) Drain(now uint64) (uint64, error) {
 			next = c.retryQ[0].ready
 		}
 		if c.crqLen > 0 {
-			if ready := c.crqFront().ready; ready > idle && ready < next {
+			if ready := c.crqNextReady(); ready > idle && ready < next {
 				next = ready
 			}
 		}
@@ -662,7 +731,7 @@ func (c *Coalescer) completeOne() {
 	}
 	c.freedAt = item.tick
 	if item.fault && item.attempt < c.maxPacketRetries() {
-		c.requeueFailed(item.tick, item.attempt, baseLine, lines, write, subs)
+		c.requeueFailed(item.tick, item.attempt, baseLine, lines, write, subs, item.cpu, item.critical)
 	} else {
 		if item.fault {
 			c.stats.FailedTargets += uint64(len(subs))
@@ -682,7 +751,7 @@ func (c *Coalescer) maxPacketRetries() int {
 // requeueFailed schedules a failed span for re-issue as a fresh packet —
 // deliberately not re-coalesced: it goes straight back to the CRQ — after
 // a capped exponential backoff.
-func (c *Coalescer) requeueFailed(now uint64, attempt int, baseLine uint64, lines int, write bool, subs []mshr.Sub) {
+func (c *Coalescer) requeueFailed(now uint64, attempt int, baseLine uint64, lines int, write bool, subs []mshr.Sub, cpu uint8, critical bool) {
 	base := c.cfg.RetryBackoffCycles
 	if base == 0 {
 		base = 64
@@ -705,6 +774,7 @@ func (c *Coalescer) requeueFailed(now uint64, attempt int, baseLine uint64, line
 	p := packet{
 		baseLine: baseLine, lines: lines, write: write, targets: targets,
 		ready: now + backoff, attempt: attempt + 1, seq: c.retrySeq,
+		cpu: cpu, critical: critical,
 	}
 	c.retrySeq++
 	c.retryQ = retryPush(c.retryQ, p)

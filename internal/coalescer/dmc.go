@@ -83,6 +83,7 @@ func (c *Coalescer) flush(now uint64, cause flushCause) {
 		end := base.Line + 1
 		targets := append(c.getTargets(), mshr.Target{Line: base.Line, Token: base.Token, Payload: base.Payload})
 		cost += c.cfg.CompareCycles
+		critical := base.Critical
 		j := i + 1
 		for j < m && sorted[j].Write == base.Write {
 			ln := sorted[j].Line
@@ -97,6 +98,7 @@ func (c *Coalescer) flush(now uint64, cause flushCause) {
 			}
 			cost += c.cfg.MergeCycles
 			c.stats.FirstPhaseMerges++
+			critical = critical || sorted[j].Critical
 			targets = append(targets, mshr.Target{Line: ln, Token: sorted[j].Token, Payload: sorted[j].Payload})
 			j++
 		}
@@ -107,12 +109,13 @@ func (c *Coalescer) flush(now uint64, cause flushCause) {
 			// target slice over without copying.
 			c.enqueuePacket(ready, packet{
 				baseLine: chunks[0].base, lines: chunks[0].len, write: base.Write,
-				targets: targets, ready: ready,
+				targets: targets, ready: ready, cpu: base.CPU, critical: critical,
 			})
 		} else {
 			for ci := 0; ci < nChunks; ci++ {
 				ch := chunks[ci]
-				pkt := packet{baseLine: ch.base, lines: ch.len, write: base.Write, ready: ready, targets: c.getTargets()}
+				pkt := packet{baseLine: ch.base, lines: ch.len, write: base.Write, ready: ready,
+					targets: c.getTargets(), cpu: base.CPU, critical: critical}
 				for _, t := range targets {
 					if t.Line >= ch.base && t.Line < ch.base+uint64(ch.len) {
 						pkt.targets = append(pkt.targets, t)
@@ -193,7 +196,7 @@ func (c *Coalescer) enqueuePacket(now uint64, p packet) {
 		}
 		c.enqueueOne(now, packet{
 			baseLine: ln, lines: 1, write: p.write, targets: targets,
-			ready: p.ready, attempt: p.attempt,
+			ready: p.ready, attempt: p.attempt, cpu: p.cpu, critical: p.critical,
 		})
 	}
 	c.putTargets(p.targets)
@@ -225,6 +228,9 @@ func (c *Coalescer) enqueueOne(now uint64, p packet) {
 // entry allocation and memory dispatch. now is the current event tick.
 func (c *Coalescer) drainCRQ(now uint64) {
 	for c.crqLen > 0 {
+		if c.laneBytes != nil && c.crqLen > 1 && !c.crqFront().blocked {
+			c.selectReady(now)
+		}
 		p := c.crqFront()
 		if p.ready > now {
 			return
@@ -285,8 +291,12 @@ func (c *Coalescer) drainCRQ(now uint64) {
 			} else if res.Fault {
 				c.stats.PoisonedPackets++
 			}
+			if c.laneBytes != nil {
+				c.laneBytes[p.cpu] += uint64(e.Lines()) * uint64(c.cfg.LineBytes)
+			}
 			c.inflight = completionPush(c.inflight, completion{
 				tick: res.Done, entry: e, issuedAt: t, fault: res.Fault, attempt: p.attempt,
+				cpu: p.cpu, critical: p.critical,
 			})
 		}
 		c.lastIssue = t
@@ -303,6 +313,46 @@ func (c *Coalescer) drainCRQ(now uint64) {
 	}
 }
 
+// selectReady implements the heterogeneity-aware issue policy: among the
+// packets already ready at now it rotates the preferred one to the CRQ
+// head, keeping every other packet in FIFO order. With no ready packet, or
+// when the FIFO head already wins, the queue is untouched — so FR-FCFS
+// behavior is the fixed point the policy degrades to under light load.
+func (c *Coalescer) selectReady(now uint64) {
+	mask := len(c.crqBuf) - 1
+	best := -1
+	for i := 0; i < c.crqLen; i++ {
+		p := &c.crqBuf[(c.crqHead+i)&mask]
+		if p.ready > now {
+			continue
+		}
+		if best < 0 || c.schedBetter(p, &c.crqBuf[(c.crqHead+best)&mask]) {
+			best = i
+		}
+	}
+	if best <= 0 {
+		return
+	}
+	sel := c.crqBuf[(c.crqHead+best)&mask]
+	for i := best; i > 0; i-- {
+		c.crqBuf[(c.crqHead+i)&mask] = c.crqBuf[(c.crqHead+i-1)&mask]
+	}
+	c.crqBuf[c.crqHead] = sel
+}
+
+// schedBetter ranks two ready packets under SchedHetero: criticality hints
+// first, then the lane that has issued the fewest bytes — deprioritizing
+// bandwidth hogs — with FIFO order (the earlier packet) winning ties.
+func (c *Coalescer) schedBetter(a, b *packet) bool {
+	if a.critical != b.critical {
+		return a.critical
+	}
+	if ab, bb := c.laneBytes[a.cpu], c.laneBytes[b.cpu]; ab != bb {
+		return ab < bb
+	}
+	return false
+}
+
 // completion pairs an outstanding MSHR entry with its response tick.
 // tick is NeverTick for a dropped response — such completions sink to the
 // bottom of the heap and only the watchdog ever looks at them.
@@ -312,6 +362,8 @@ type completion struct {
 	issuedAt uint64 // dispatch tick, for watchdog age ordering
 	fault    bool   // response arrived poisoned
 	attempt  int    // span-level retry attempts already spent
+	cpu      uint8  // issuing lane, carried so retries keep their account
+	critical bool   // criticality hint, carried across retries
 }
 
 // The in-flight min-heap is hand-inlined: container/heap's interface

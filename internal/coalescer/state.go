@@ -17,6 +17,8 @@ type packetState struct {
 	blocked  bool
 	attempt  int
 	seq      uint64
+	cpu      uint8
+	critical bool
 }
 
 // completionState is one captured in-flight completion. The MSHR entry
@@ -27,6 +29,8 @@ type completionState struct {
 	issuedAt   uint64
 	fault      bool
 	attempt    int
+	cpu        uint8
+	critical   bool
 }
 
 // State is an opaque deep copy of the coalescer's mutable state: the
@@ -60,6 +64,8 @@ type State struct {
 	degraded   bool
 	degradedAt uint64
 
+	laneBytes []uint64 // hetero scheduler accounts (nil under FR-FCFS)
+
 	file *mshr.FileState
 }
 
@@ -73,6 +79,8 @@ func savePacket(p *packet) packetState {
 		blocked:  p.blocked,
 		attempt:  p.attempt,
 		seq:      p.seq,
+		cpu:      p.cpu,
+		critical: p.critical,
 	}
 }
 
@@ -86,6 +94,8 @@ func restorePacket(st *packetState) packet {
 		blocked:  st.blocked,
 		attempt:  st.attempt,
 		seq:      st.seq,
+		cpu:      st.cpu,
+		critical: st.critical,
 	}
 }
 
@@ -128,6 +138,8 @@ func (c *Coalescer) SaveState() (*State, error) {
 			issuedAt:   c.inflight[i].issuedAt,
 			fault:      c.inflight[i].fault,
 			attempt:    c.inflight[i].attempt,
+			cpu:        c.inflight[i].cpu,
+			critical:   c.inflight[i].critical,
 		}
 	}
 	st.retryQ = make([]packetState, len(c.retryQ))
@@ -136,6 +148,9 @@ func (c *Coalescer) SaveState() (*State, error) {
 	}
 	if c.faultWin != nil {
 		st.faultWin = append([]bool(nil), c.faultWin...)
+	}
+	if c.laneBytes != nil {
+		st.laneBytes = append([]uint64(nil), c.laneBytes...)
 	}
 	return st, nil
 }
@@ -182,6 +197,8 @@ func (c *Coalescer) RestoreState(st *State) error {
 			issuedAt: st.inflight[i].issuedAt,
 			fault:    st.inflight[i].fault,
 			attempt:  st.inflight[i].attempt,
+			cpu:      st.inflight[i].cpu,
+			critical: st.inflight[i].critical,
 		})
 	}
 	c.retryQ = c.retryQ[:0]
@@ -206,5 +223,12 @@ func (c *Coalescer) RestoreState(st *State) error {
 	c.faultCnt = st.faultCnt
 	c.degraded = st.degraded
 	c.degradedAt = st.degradedAt
+	if st.laneBytes != nil {
+		c.laneBytes = append(c.laneBytes[:0], st.laneBytes...)
+	} else if c.laneBytes != nil {
+		for i := range c.laneBytes {
+			c.laneBytes[i] = 0
+		}
+	}
 	return nil
 }

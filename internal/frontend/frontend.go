@@ -1,0 +1,297 @@
+// Package frontend puts the coalescing front-end — the unit between the
+// shared LLC and the memory backend — behind a pluggable interface, so the
+// evaluation can swap how misses are gathered into memory packets without
+// touching the simulator's tick loop. Two front-ends are provided:
+//
+//	two-phase  the paper's CPU coalescer (internal/coalescer): input
+//	           buffer, odd–even merge sorting network, DMC unit, CRQ and
+//	           dynamic MSHRs — the default, byte-identical to the
+//	           pre-frontend simulator
+//	warp       a GPU-style coalescing unit: per-lane warp buffers that
+//	           close on width or timeout and merge at block granularity
+//	           in first-touch order, the memory-access coalescing found
+//	           in GPGPU SIMT front-ends
+//
+// Orthogonally to the front-end kind, the issue policy that picks which
+// queued packet reaches the MSHRs next is pluggable: strict FR-FCFS (the
+// default) or a heterogeneity-aware scheduler that favors criticality-
+// hinted requests and starved lanes over bandwidth hogs.
+//
+// Both front-ends speak the coalescer's request/callback interface and
+// maintain the same statistics shape (coalescer.Stats, mshr.Stats), so
+// every metric and table in the evaluation renders identically whichever
+// front-end is plugged in.
+package frontend
+
+import (
+	"fmt"
+
+	"hmccoal/internal/coalescer"
+	"hmccoal/internal/invariant"
+	"hmccoal/internal/mshr"
+)
+
+// Kind selects a front-end implementation. The zero value is the two-phase
+// coalescer, so configurations that predate front-end selection are
+// unchanged.
+type Kind int
+
+// Front-end kinds.
+const (
+	// KindTwoPhase is the paper's two-phase CPU coalescer.
+	KindTwoPhase Kind = iota
+	// KindWarp is the GPU-style warp coalescing unit.
+	KindWarp
+)
+
+// String names the kind as the CLI -frontend flag spells it.
+func (k Kind) String() string {
+	switch k {
+	case KindTwoPhase:
+		return "two-phase"
+	case KindWarp:
+		return "warp"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Validate rejects kinds no factory case exists for.
+func (k Kind) Validate() error {
+	switch k {
+	case KindTwoPhase, KindWarp:
+		return nil
+	}
+	return fmt.Errorf("frontend: unknown frontend kind %d", int(k))
+}
+
+// ParseKind maps a -frontend flag value to a Kind. The empty string means
+// the default two-phase coalescer.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "two-phase":
+		return KindTwoPhase, nil
+	case "warp":
+		return KindWarp, nil
+	}
+	return 0, fmt.Errorf("frontend: unknown frontend %q (have two-phase, warp)", s)
+}
+
+// Kinds lists the recognized front-end names for usage messages.
+func Kinds() []string { return []string{"two-phase", "warp"} }
+
+// SchedKind selects the issue policy inside a front-end. The zero value is
+// strict FR-FCFS, the policy every pre-scheduler configuration used.
+type SchedKind int
+
+// Scheduler kinds.
+const (
+	// SchedFRFCFS issues queued packets strictly in arrival order.
+	SchedFRFCFS SchedKind = iota
+	// SchedHetero is the heterogeneity-aware policy: criticality-hinted
+	// requests first, then the lane with the fewest issued bytes.
+	SchedHetero
+)
+
+// String names the scheduler as the CLI -sched flag spells it.
+func (k SchedKind) String() string {
+	switch k {
+	case SchedFRFCFS:
+		return "frfcfs"
+	case SchedHetero:
+		return "hetero"
+	}
+	return fmt.Sprintf("SchedKind(%d)", int(k))
+}
+
+// Validate rejects scheduler values no issue path exists for.
+func (k SchedKind) Validate() error {
+	switch k {
+	case SchedFRFCFS, SchedHetero:
+		return nil
+	}
+	return fmt.Errorf("frontend: unknown scheduler kind %d", int(k))
+}
+
+// ParseSched maps a -sched flag value to a SchedKind. The empty string
+// means the default FR-FCFS policy.
+func ParseSched(s string) (SchedKind, error) {
+	switch s {
+	case "", "frfcfs":
+		return SchedFRFCFS, nil
+	case "hetero":
+		return SchedHetero, nil
+	}
+	return 0, fmt.Errorf("frontend: unknown scheduler %q (have frfcfs, hetero)", s)
+}
+
+// Scheds lists the recognized scheduler names for usage messages.
+func Scheds() []string { return []string{"frfcfs", "hetero"} }
+
+// Snapshot is an opaque deep copy of one front-end's mutable state. It can
+// only be restored into a front-end of the same kind and configuration.
+type Snapshot interface{ frontendSnapshot() }
+
+// Config parameterizes a front-end: which implementation, which issue
+// policy, how many request lanes (CPUs) feed it, and the shared coalescer
+// geometry/timing every front-end interprets.
+type Config struct {
+	// Kind selects the implementation (zero = two-phase).
+	Kind Kind
+	// Sched selects the issue policy (zero = FR-FCFS).
+	Sched SchedKind
+	// Lanes is the number of request sources (CPUs); the warp front-end
+	// keeps one open warp buffer per lane.
+	Lanes int
+	// Coalescer is the shared front-end geometry: width, timeout, line and
+	// block sizes, MSHR file, phase switches and fault-recovery knobs.
+	Coalescer coalescer.Config
+}
+
+// Frontend is the coalescing unit under the simulator: it accepts LLC
+// misses, batches them into memory packets and dispatches them through the
+// issue callback. Implementations are single-goroutine, tick-driven and
+// deterministic: the same push sequence produces the same issues,
+// completions and statistics.
+type Frontend interface {
+	// Kind identifies the implementation.
+	Kind() Kind
+	// Push presents one LLC request at the given tick; ticks must be
+	// non-decreasing across Push/Fence/Advance calls.
+	Push(now uint64, r coalescer.Request)
+	// Fence signals a memory fence: pending batches flush immediately.
+	Fence(now uint64)
+	// Advance processes time up to now: timeouts, retries, completions.
+	Advance(now uint64)
+	// NextEvent returns the earliest tick Advance will make progress at.
+	NextEvent() (uint64, bool)
+	// Drain flushes all pending state and runs the clock until idle.
+	Drain(now uint64) (uint64, error)
+	// Err returns the first latched conservation violation, or nil.
+	Err() error
+	// Stats returns a copy of the accumulated front-end statistics.
+	Stats() coalescer.Stats
+	// MSHRStats exposes the MSHR file counters.
+	MSHRStats() mshr.Stats
+	// QueueDepths reports input-buffer and packet-queue occupancy.
+	QueueDepths() (pending, crq int)
+	// DebugState renders internal queue state for deadlock diagnostics.
+	DebugState() string
+	// SetChecker attaches a runtime invariant checker (nil disables).
+	SetChecker(*invariant.Checker)
+	// CheckDrained audits the end-of-run conservation laws.
+	CheckDrained(tick uint64) error
+	// WatchdogError describes responses that will never arrive, or nil.
+	WatchdogError() error
+	// DoomedTokens visits the waiter tokens of dropped in-flight requests.
+	DoomedTokens(fn func(token uint64))
+	// SaveState deep-copies the front-end's mutable state; RestoreState
+	// replays a snapshot into a front-end of identical kind and config.
+	SaveState() (Snapshot, error)
+	RestoreState(Snapshot) error
+}
+
+// New builds a front-end of the configured kind. issue and complete must
+// be non-nil.
+func New(cfg Config, issue coalescer.IssueFunc, complete coalescer.CompleteFunc) (Frontend, error) {
+	if err := cfg.Kind.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Sched.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Kind {
+	case KindTwoPhase:
+		ccfg := cfg.Coalescer
+		ccfg.Sched = coalescer.Sched(cfg.Sched)
+		c, err := coalescer.New(ccfg, issue, complete)
+		if err != nil {
+			return nil, err
+		}
+		return (*twoPhase)(c), nil
+	case KindWarp:
+		return newWarp(cfg, issue, complete)
+	}
+	return nil, fmt.Errorf("frontend: unknown frontend kind %d", int(cfg.Kind))
+}
+
+// twoPhase adapts *coalescer.Coalescer to the Frontend interface. It is a
+// named pointer type rather than a wrapper struct so the adaptation is
+// allocation-free: converting the coalescer pointer and assigning it to
+// the interface never heap-allocates, keeping the default path's alloc
+// profile identical to the pre-frontend simulator.
+type twoPhase coalescer.Coalescer
+
+// twoPhaseSnap wraps the coalescer's own state type.
+type twoPhaseSnap struct{ st *coalescer.State }
+
+func (twoPhaseSnap) frontendSnapshot() {}
+
+func (t *twoPhase) c() *coalescer.Coalescer { return (*coalescer.Coalescer)(t) }
+
+func (t *twoPhase) Kind() Kind { return KindTwoPhase }
+
+func (t *twoPhase) Push(now uint64, r coalescer.Request) { t.c().Push(now, r) }
+
+func (t *twoPhase) Fence(now uint64) { t.c().Fence(now) }
+
+func (t *twoPhase) Advance(now uint64) { t.c().Advance(now) }
+
+func (t *twoPhase) NextEvent() (uint64, bool) { return t.c().NextEvent() }
+
+func (t *twoPhase) Drain(now uint64) (uint64, error) { return t.c().Drain(now) }
+
+func (t *twoPhase) Err() error { return t.c().Err() }
+
+func (t *twoPhase) Stats() coalescer.Stats { return t.c().Stats() }
+
+func (t *twoPhase) MSHRStats() mshr.Stats { return t.c().MSHRStats() }
+
+func (t *twoPhase) QueueDepths() (pending, crq int) { return t.c().QueueDepths() }
+
+func (t *twoPhase) DebugState() string { return t.c().DebugState() }
+
+func (t *twoPhase) SetChecker(ck *invariant.Checker) { t.c().SetChecker(ck) }
+
+func (t *twoPhase) CheckDrained(tick uint64) error { return t.c().CheckDrained(tick) }
+
+func (t *twoPhase) WatchdogError() error { return t.c().WatchdogError() }
+
+func (t *twoPhase) DoomedTokens(fn func(token uint64)) { t.c().DoomedTokens(fn) }
+
+func (t *twoPhase) SaveState() (Snapshot, error) {
+	st, err := t.c().SaveState()
+	if err != nil {
+		return nil, err
+	}
+	return twoPhaseSnap{st: st}, nil
+}
+
+func (t *twoPhase) RestoreState(s Snapshot) error {
+	ts, ok := s.(twoPhaseSnap)
+	if !ok {
+		return fmt.Errorf("frontend: %v snapshot restored into two-phase frontend", kindOf(s))
+	}
+	return t.c().RestoreState(ts.st)
+}
+
+// Coalescer unwraps a Frontend to its *coalescer.Coalescer when the
+// front-end is the two-phase unit, for callers needing coalescer-only
+// surface (the adaptive timeout, degraded-mode inspection).
+func Coalescer(f Frontend) (*coalescer.Coalescer, bool) {
+	t, ok := f.(*twoPhase)
+	if !ok {
+		return nil, false
+	}
+	return t.c(), true
+}
+
+// kindOf names a snapshot's origin kind for mismatch diagnostics.
+func kindOf(s Snapshot) Kind {
+	switch s.(type) {
+	case twoPhaseSnap:
+		return KindTwoPhase
+	case *warpSnap:
+		return KindWarp
+	}
+	return Kind(-1)
+}

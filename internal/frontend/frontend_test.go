@@ -1,0 +1,357 @@
+package frontend
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hmccoal/internal/coalescer"
+	"hmccoal/internal/mshr"
+)
+
+func TestParseKind(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+		err  bool
+	}{
+		{"", KindTwoPhase, false},
+		{"two-phase", KindTwoPhase, false},
+		{"warp", KindWarp, false},
+		{"Warp", 0, true},
+		{"gpu", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseKind(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseKind(%q): err = %v, want err = %v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseKind(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if err := Kind(99).Validate(); err == nil {
+		t.Errorf("Kind(99).Validate() accepted an unknown kind")
+	}
+}
+
+func TestParseSched(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SchedKind
+		err  bool
+	}{
+		{"", SchedFRFCFS, false},
+		{"frfcfs", SchedFRFCFS, false},
+		{"hetero", SchedHetero, false},
+		{"FRFCFS", 0, true},
+		{"rr", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseSched(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseSched(%q): err = %v, want err = %v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseSched(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if err := SchedKind(99).Validate(); err == nil {
+		t.Errorf("SchedKind(99).Validate() accepted an unknown scheduler")
+	}
+}
+
+func TestNameRoundTrips(t *testing.T) {
+	for _, name := range Kinds() {
+		k, err := ParseKind(name)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", name, err)
+		}
+		if k.String() != name {
+			t.Errorf("ParseKind(%q).String() = %q", name, k.String())
+		}
+	}
+	for _, name := range Scheds() {
+		s, err := ParseSched(name)
+		if err != nil {
+			t.Fatalf("ParseSched(%q): %v", name, err)
+		}
+		if s.String() != name {
+			t.Errorf("ParseSched(%q).String() = %q", name, s.String())
+		}
+	}
+}
+
+// testConfig is the shared front-end geometry the behavioral tests run on.
+func testConfig(kind Kind, sched SchedKind) Config {
+	return Config{Kind: kind, Sched: sched, Lanes: 4, Coalescer: coalescer.DefaultConfig()}
+}
+
+// fakeMem is a deterministic memory model: every packet completes after a
+// latency proportional to its line span, and the completion callback
+// records every waiter token with its arrival tick.
+type fakeMem struct {
+	issued int
+	tokens []uint64
+	ticks  []uint64
+}
+
+func (m *fakeMem) issue(tick uint64, e *mshr.Entry) coalescer.IssueResult {
+	m.issued++
+	return coalescer.IssueResult{Done: tick + 40 + 4*uint64(e.Lines())}
+}
+
+func (m *fakeMem) complete(tick uint64, subs []mshr.Sub, fault bool) {
+	for _, s := range subs {
+		m.tokens = append(m.tokens, s.Token)
+		m.ticks = append(m.ticks, tick)
+	}
+}
+
+// drive pushes a deterministic mixed stream — runs of adjacent lines,
+// strided singles, a write burst — through a front-end and drains it.
+func drive(t *testing.T, f Frontend, mem *fakeMem, n int) {
+	t.Helper()
+	now := uint64(0)
+	for i := 0; i < n; i++ {
+		line := uint64(i/8)*32 + uint64(i%8) // runs of 8 adjacent lines
+		if i%5 == 4 {
+			line = 1 << 20 >> 6 * uint64(i) // far stride breaking the run
+		}
+		f.Push(now, coalescer.Request{
+			Line:     line,
+			Write:    i%7 == 0,
+			Payload:  8,
+			Token:    uint64(i),
+			CPU:      uint8(i % 4),
+			Critical: i%3 == 0,
+		})
+		now += 2
+		f.Advance(now)
+	}
+	if _, err := f.Drain(now); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := f.CheckDrained(now + 1); err != nil {
+		t.Fatalf("CheckDrained: %v", err)
+	}
+}
+
+func allCombos() []Config {
+	var cfgs []Config
+	for _, k := range []Kind{KindTwoPhase, KindWarp} {
+		for _, s := range []SchedKind{SchedFRFCFS, SchedHetero} {
+			cfgs = append(cfgs, testConfig(k, s))
+		}
+	}
+	return cfgs
+}
+
+func TestFactoryKinds(t *testing.T) {
+	for _, cfg := range allCombos() {
+		mem := &fakeMem{}
+		f, err := New(cfg, mem.issue, mem.complete)
+		if err != nil {
+			t.Fatalf("New(%v/%v): %v", cfg.Kind, cfg.Sched, err)
+		}
+		if f.Kind() != cfg.Kind {
+			t.Errorf("New(%v).Kind() = %v", cfg.Kind, f.Kind())
+		}
+	}
+	bad := testConfig(Kind(42), SchedFRFCFS)
+	if _, err := New(bad, (&fakeMem{}).issue, (&fakeMem{}).complete); err == nil {
+		t.Errorf("New accepted an unknown frontend kind")
+	}
+	bad = testConfig(KindTwoPhase, SchedKind(42))
+	if _, err := New(bad, (&fakeMem{}).issue, (&fakeMem{}).complete); err == nil {
+		t.Errorf("New accepted an unknown scheduler kind")
+	}
+}
+
+// TestDeterministicAndConserving pins the front-end contract: identical
+// push sequences yield identical completions and statistics, every token
+// pushed comes back exactly once, and the request count is conserved.
+func TestDeterministicAndConserving(t *testing.T) {
+	const n = 400
+	for _, cfg := range allCombos() {
+		cfg := cfg
+		t.Run(cfg.Kind.String()+"/"+cfg.Sched.String(), func(t *testing.T) {
+			runOne := func() *fakeMem {
+				mem := &fakeMem{}
+				f, err := New(cfg, mem.issue, mem.complete)
+				if err != nil {
+					t.Fatal(err)
+				}
+				drive(t, f, mem, n)
+				if got := f.Stats().Requests; got != n {
+					t.Fatalf("Stats().Requests = %d, want %d", got, n)
+				}
+				return mem
+			}
+			a, b := runOne(), runOne()
+			if !reflect.DeepEqual(a.tokens, b.tokens) || !reflect.DeepEqual(a.ticks, b.ticks) {
+				t.Fatalf("identical runs produced different completions")
+			}
+			seen := make(map[uint64]int, n)
+			for _, tok := range a.tokens {
+				seen[tok]++
+			}
+			if len(seen) != n {
+				t.Fatalf("completed %d distinct tokens, want %d", len(seen), n)
+			}
+			for tok, c := range seen {
+				if c != 1 {
+					t.Fatalf("token %d completed %d times", tok, c)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTrip pins SaveState/RestoreState: a restored front-end
+// replays the suffix of the run byte-identically to the original.
+func TestSnapshotRoundTrip(t *testing.T) {
+	const half = 150
+	for _, cfg := range allCombos() {
+		cfg := cfg
+		t.Run(cfg.Kind.String()+"/"+cfg.Sched.String(), func(t *testing.T) {
+			suffix := func(f Frontend, mem *fakeMem, from uint64) *fakeMem {
+				now := from
+				for i := 0; i < half; i++ {
+					f.Push(now, coalescer.Request{
+						Line: uint64(i), Payload: 8, Token: uint64(1000 + i), CPU: uint8(i % 4),
+					})
+					now += 2
+					f.Advance(now)
+				}
+				if _, err := f.Drain(now); err != nil {
+					t.Fatalf("Drain: %v", err)
+				}
+				return mem
+			}
+
+			memA := &fakeMem{}
+			a, err := New(cfg, memA.issue, memA.complete)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now := uint64(0)
+			for i := 0; i < half; i++ {
+				a.Push(now, coalescer.Request{Line: uint64(i) * 3, Payload: 8, Token: uint64(i), CPU: uint8(i % 4)})
+				now += 2
+				a.Advance(now)
+			}
+			snap, err := a.SaveState()
+			if err != nil {
+				t.Fatalf("SaveState: %v", err)
+			}
+
+			memB := &fakeMem{}
+			b, err := New(cfg, memB.issue, memB.complete)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.RestoreState(snap); err != nil {
+				t.Fatalf("RestoreState: %v", err)
+			}
+
+			sa := suffix(a, memA, now)
+			sb := suffix(b, memB, now)
+			// The prefix's completions only reached memA, so compare suffixes.
+			ta := sa.tokens[len(sa.tokens)-half:]
+			tb := sb.tokens[len(sb.tokens)-half:]
+			if !reflect.DeepEqual(ta, tb) {
+				t.Fatalf("restored front-end diverged on the suffix")
+			}
+			if asr, bsr := a.Stats(), b.Stats(); asr != bsr {
+				t.Fatalf("post-restore stats diverge:\n%+v\n%+v", asr, bsr)
+			}
+		})
+	}
+}
+
+func TestRestoreKindMismatch(t *testing.T) {
+	kinds := []Kind{KindTwoPhase, KindWarp}
+	snaps := make([]Snapshot, len(kinds))
+	for i, k := range kinds {
+		mem := &fakeMem{}
+		f, err := New(testConfig(k, SchedFRFCFS), mem.issue, mem.complete)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snaps[i], err = f.SaveState(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range kinds {
+		mem := &fakeMem{}
+		f, err := New(testConfig(k, SchedFRFCFS), mem.issue, mem.complete)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range kinds {
+			err := f.RestoreState(snaps[j])
+			if (i == j) != (err == nil) {
+				t.Errorf("restore %v snapshot into %v front-end: err = %v", kinds[j], k, err)
+			}
+			if i != j && err != nil && !strings.Contains(err.Error(), kinds[j].String()) {
+				t.Errorf("mismatch error %q does not name the snapshot kind %v", err, kinds[j])
+			}
+		}
+	}
+}
+
+func TestCoalescerUnwrap(t *testing.T) {
+	mem := &fakeMem{}
+	tp, err := New(testConfig(KindTwoPhase, SchedFRFCFS), mem.issue, mem.complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := Coalescer(tp); !ok || c == nil {
+		t.Errorf("Coalescer failed to unwrap the two-phase front-end")
+	}
+	w, err := New(testConfig(KindWarp, SchedFRFCFS), mem.issue, mem.complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Coalescer(w); ok {
+		t.Errorf("Coalescer unwrapped a warp front-end")
+	}
+}
+
+// TestTwoPhaseWrapperAddsNoAllocs pins the zero-cost adaptation: building
+// and driving the default front-end through the interface allocates
+// exactly as much as driving the bare coalescer, so the pre-frontend alloc
+// profile of the simulator's hot path is unchanged.
+func TestTwoPhaseWrapperAddsNoAllocs(t *testing.T) {
+	cfg := testConfig(KindTwoPhase, SchedFRFCFS)
+	mem := &fakeMem{}
+
+	bare := testing.AllocsPerRun(10, func() {
+		c, err := coalescer.New(cfg.Coalescer, mem.issue, mem.complete)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Push(0, coalescer.Request{Line: 1, Payload: 8})
+		c.Advance(100)
+		if _, err := c.Drain(100); err != nil {
+			t.Fatal(err)
+		}
+	})
+	wrapped := testing.AllocsPerRun(10, func() {
+		f, err := New(cfg, mem.issue, mem.complete)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Push(0, coalescer.Request{Line: 1, Payload: 8})
+		f.Advance(100)
+		if _, err := f.Drain(100); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if wrapped > bare {
+		t.Errorf("two-phase wrapper allocates: %v allocs via frontend.New, %v bare", wrapped, bare)
+	}
+}

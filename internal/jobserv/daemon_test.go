@@ -153,6 +153,9 @@ func TestSubmitValidation(t *testing.T) {
 		{Kind: KindSoak},
 		{Kind: KindSingle, Bench: hmccoal.Benchmarks()[0], Ops: -1},
 		{Kind: KindSingle, Bench: hmccoal.Benchmarks()[0], Backend: "no-such-backend"},
+		{Kind: KindSingle, Bench: hmccoal.Benchmarks()[0], Frontend: "no-such-frontend"},
+		{Kind: KindSingle, Bench: hmccoal.Benchmarks()[0], Sched: "no-such-sched"},
+		{Kind: KindSweep, Sweep: "stride", Frontend: "no-such-frontend"},
 	}
 	for _, spec := range bad {
 		if _, err := d.Submit("t", 0, spec); err == nil {

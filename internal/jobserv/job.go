@@ -78,9 +78,14 @@ type Spec struct {
 	Bench string `json:"bench,omitempty"`
 	// Backend names the memory backend ("" = hmc).
 	Backend string `json:"backend,omitempty"`
+	// Frontend and Sched name the coalescing front-end and its issue
+	// policy ("" are the two-phase / FR-FCFS defaults). The stride sweep
+	// grids both axes itself and ignores them.
+	Frontend string `json:"frontend,omitempty"`
+	Sched    string `json:"sched,omitempty"`
 
 	// Sweep selects the grid of KindSweep jobs: runall, fig14, timeout,
-	// mshr, speedup or fault.
+	// mshr, speedup, fault or stride.
 	Sweep    string    `json:"sweep,omitempty"`
 	Timeouts []uint64  `json:"timeouts,omitempty"`
 	Entries  []int     `json:"entries,omitempty"`
@@ -96,7 +101,7 @@ type Spec struct {
 // sweepKinds maps the Spec.Sweep tokens to validity.
 var sweepKinds = map[string]bool{
 	"runall": true, "fig14": true, "timeout": true,
-	"mshr": true, "speedup": true, "fault": true,
+	"mshr": true, "speedup": true, "fault": true, "stride": true,
 }
 
 // Validate rejects malformed specs at admission, so the queue only ever
@@ -106,6 +111,12 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("jobserv: cpus and ops must be ≥ 0")
 	}
 	if _, err := hmccoal.ParseBackend(s.Backend); s.Backend != "" && err != nil {
+		return fmt.Errorf("jobserv: %w", err)
+	}
+	if _, err := hmccoal.ParseFrontend(s.Frontend); s.Frontend != "" && err != nil {
+		return fmt.Errorf("jobserv: %w", err)
+	}
+	if _, err := hmccoal.ParseSched(s.Sched); s.Sched != "" && err != nil {
 		return fmt.Errorf("jobserv: %w", err)
 	}
 	checkBench := func() error {
@@ -121,7 +132,7 @@ func (s Spec) Validate() error {
 		return checkBench()
 	case KindSweep:
 		if !sweepKinds[s.Sweep] {
-			return fmt.Errorf("jobserv: unknown sweep %q (valid: runall, fig14, timeout, mshr, speedup, fault)", s.Sweep)
+			return fmt.Errorf("jobserv: unknown sweep %q (valid: runall, fig14, timeout, mshr, speedup, fault, stride)", s.Sweep)
 		}
 		if s.Sweep == "timeout" || s.Sweep == "mshr" || s.Sweep == "fault" {
 			return checkBench()

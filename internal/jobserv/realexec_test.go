@@ -170,3 +170,33 @@ func TestDrainUnderLoad(t *testing.T) {
 		}
 	}
 }
+
+// TestFrontendJobsRunToDone runs the new front-end surface through the
+// production executors: a warp/hetero single job and a stride sweep job
+// both finish, and each reruns byte-identically on a fresh daemon.
+func TestFrontendJobsRunToDone(t *testing.T) {
+	specs := []Spec{
+		{Kind: KindSingle, Bench: hmccoal.Benchmarks()[0], CPUs: 2, Ops: 120, Frontend: "warp", Sched: "hetero"},
+		{Kind: KindSweep, Sweep: "stride", CPUs: 2, Ops: 100},
+	}
+	run := func(d *Daemon) [][]byte {
+		var out [][]byte
+		for _, spec := range specs {
+			id := mustSubmit(t, d, "fe", 0, spec)
+			waitDone(t, d, id, 120*time.Second)
+			res, err := d.Result(id)
+			if err != nil {
+				t.Fatalf("result %+v: %v", spec, err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+	a := run(newTestDaemon(t, Options{Slots: 1, SweepWorkers: 2}))
+	b := run(newTestDaemon(t, Options{Slots: 1, SweepWorkers: 2}))
+	for i := range specs {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Errorf("spec %+v results differ across daemons", specs[i])
+		}
+	}
+}

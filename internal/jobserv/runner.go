@@ -69,6 +69,14 @@ func (d *Daemon) execSingle(ctl execCtl, spec Spec) execOutcome {
 		if err != nil {
 			return execOutcome{err: err}
 		}
+		fe, err := hmccoal.ParseFrontend(spec.Frontend)
+		if err != nil {
+			return execOutcome{err: err}
+		}
+		sched, err := hmccoal.ParseSched(spec.Sched)
+		if err != nil {
+			return execOutcome{err: err}
+		}
 		accs, err = hmccoal.GenerateTrace(spec.Bench, spec.params())
 		if err != nil {
 			return execOutcome{err: err}
@@ -76,6 +84,8 @@ func (d *Daemon) execSingle(ctl execCtl, spec Spec) execOutcome {
 		cfg = hmccoal.DefaultConfig()
 		cfg.Mode = hmccoal.ModeTwoPhase
 		cfg.Backend = backend
+		cfg.Frontend = fe
+		cfg.Sched = sched
 		cfg.Hierarchy.CPUs = spec.params().CPUs
 		if sys, err = hmccoal.NewSystem(cfg); err != nil {
 			return execOutcome{err: err}
@@ -127,10 +137,20 @@ func (d *Daemon) execSweep(ctl execCtl, id string, spec Spec) execOutcome {
 	if err != nil {
 		return execOutcome{err: err}
 	}
+	fe, err := hmccoal.ParseFrontend(spec.Frontend)
+	if err != nil {
+		return execOutcome{err: err}
+	}
+	sched, err := hmccoal.ParseSched(spec.Sched)
+	if err != nil {
+		return execOutcome{err: err}
+	}
 	opt := hmccoal.SweepOptions{
 		Workers:    d.opt.SweepWorkers,
 		Batch:      spec.Batch,
 		Backend:    backend,
+		Frontend:   fe,
+		Sched:      sched,
 		Dispatch:   d.opt.Dispatch,
 		Progress:   ctl.progress,
 		Checkpoint: filepath.Join(ctl.dir, "ckpt", id+"."+spec.Sweep),
@@ -190,6 +210,16 @@ func (d *Daemon) execSweep(ctl execCtl, id string, spec Spec) execOutcome {
 			"rows":  rows,
 			"table": hmccoal.FaultSweepTable(rows),
 		}
+	case "stride":
+		runs, rerr := hmccoal.StrideLadderContext(ctx, p, opt)
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		payload = map[string]any{
+			"runs":  runs,
+			"table": hmccoal.StrideLadderTable(runs),
+		}
 	default:
 		err = fmt.Errorf("jobserv: unknown sweep %q", spec.Sweep)
 	}
@@ -209,11 +239,21 @@ func (d *Daemon) execSoak(ctl execCtl, id string, spec Spec) execOutcome {
 	if err != nil {
 		return execOutcome{err: err}
 	}
+	fe, err := hmccoal.ParseFrontend(spec.Frontend)
+	if err != nil {
+		return execOutcome{err: err}
+	}
+	sched, err := hmccoal.ParseSched(spec.Sched)
+	if err != nil {
+		return execOutcome{err: err}
+	}
 	rep, err := soak.Soak(ctl.ctx, soak.Options{
 		Seed:       spec.Seed,
 		Runs:       spec.Runs,
 		Workers:    d.opt.SweepWorkers,
 		Backend:    backend,
+		Frontend:   fe,
+		Sched:      sched,
 		ReproDir:   filepath.Join(ctl.dir, "repros"),
 		Progress:   ctl.progress,
 		Checkpoint: filepath.Join(ctl.dir, "ckpt", id+".soak"),

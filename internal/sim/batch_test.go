@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"hmccoal/internal/fault"
+	"hmccoal/internal/frontend"
 	"hmccoal/internal/membackend"
 	"hmccoal/internal/trace"
 )
@@ -68,6 +69,50 @@ func TestRunBatchMatchesSolo(t *testing.T) {
 			if g, w := got[i].Summary(), want[i].Summary(); g != w {
 				t.Errorf("width %d: job %s summary not byte-identical:\n got: %s\nwant: %s",
 					width, jobs[i].Name, g, w)
+			}
+		}
+	}
+}
+
+// TestRunBatchFrontendMatrix extends the batch contract across the
+// front-end seam: every {front-end × scheduler × backend} combination
+// produces byte-identical results at K=1 and K=8, each equal to its solo
+// reference — the determinism floor under the new -frontend/-sched axes.
+func TestRunBatchFrontendMatrix(t *testing.T) {
+	accs := genTrace(t, "HPCG", 300)
+	idx, err := NewTraceIndex(accs, DefaultConfig().Hierarchy.CPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var jobs []BatchJob
+	var want []Result
+	for _, fe := range []frontend.Kind{frontend.KindTwoPhase, frontend.KindWarp} {
+		for _, sched := range []frontend.SchedKind{frontend.SchedFRFCFS, frontend.SchedHetero} {
+			for _, kind := range []membackend.Kind{membackend.KindHMC, membackend.KindDDR, membackend.KindIdeal} {
+				cfg := DefaultConfig()
+				cfg.Frontend = fe
+				cfg.Sched = sched
+				cfg.Backend = kind
+				jobs = append(jobs, BatchJob{
+					Name:  fe.String() + "/" + sched.String() + "/" + kind.String(),
+					Cfg:   cfg,
+					Accs:  accs,
+					Index: idx,
+				})
+				want = append(want, soloRun(t, cfg, accs))
+			}
+		}
+	}
+
+	for _, width := range []int{1, 8} {
+		got, err := RunBatch(jobs, width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for i := range jobs {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("width %d: job %s diverges from solo run", width, jobs[i].Name)
 			}
 		}
 	}
@@ -194,6 +239,32 @@ func TestSystemReset(t *testing.T) {
 	}
 	if want := soloRun(t, cfg2, accs); !reflect.DeepEqual(got, want) {
 		t.Error("reset into a new config diverges from a fresh system")
+	}
+
+	// Recycling across front-end kinds: a lane that ran two-phase must
+	// rebuild as a clean warp/hetero system, and back again.
+	cfg4 := DefaultConfig()
+	cfg4.Frontend = frontend.KindWarp
+	cfg4.Sched = frontend.SchedHetero
+	if err := s.Reset(cfg4); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Run(accs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := soloRun(t, cfg4, accs); !reflect.DeepEqual(got, want) {
+		t.Error("reset into the warp front-end diverges from a fresh system")
+	}
+	if err := s.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Run(accs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, got) {
+		t.Error("reset back to the default front-end diverges from the first run")
 	}
 
 	// A different hierarchy cannot be recycled into.

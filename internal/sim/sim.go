@@ -17,6 +17,7 @@ import (
 
 	"hmccoal/internal/cache"
 	"hmccoal/internal/coalescer"
+	"hmccoal/internal/frontend"
 	"hmccoal/internal/hmc"
 	"hmccoal/internal/invariant"
 	"hmccoal/internal/membackend"
@@ -71,6 +72,14 @@ type Config struct {
 	// device. The HMC config's geometry and timing fields parameterize
 	// every backend; fault injection is HMC-only.
 	Backend membackend.Kind
+	// Frontend selects the coalescing front-end between the LLC and the
+	// memory backend: the paper's two-phase coalescer (the zero value, so
+	// existing configurations are unchanged) or the GPU-style warp
+	// coalescing unit. Sched selects the issue policy inside the
+	// front-end: strict FR-FCFS (the zero value) or the
+	// heterogeneity-aware scheduler.
+	Frontend frontend.Kind
+	Sched    frontend.SchedKind
 	// Checks enables the runtime invariant checker across every layer
 	// (token ledger, MSHR leak audit, device byte conservation, clock
 	// monotonicity). Off by default: the checked quantities are identical
@@ -116,6 +125,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: %w", err)
 	}
 	if err := c.Backend.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := c.Frontend.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := c.Sched.Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
@@ -220,7 +235,7 @@ type System struct {
 	cfg       Config
 	hierarchy *cache.Hierarchy
 	device    membackend.Backend
-	coal      *coalescer.Coalescer
+	coal      frontend.Frontend
 
 	outstanding []int    // demand misses in flight per CPU
 	nextToken   uint64   // demand-miss token allocator
@@ -331,7 +346,13 @@ func (s *System) init(cfg Config) error {
 		s.stall = make([]uint64, cfg.Hierarchy.CPUs)
 	}
 	lineBytes := uint64(cfg.Coalescer.LineBytes)
-	c, err := coalescer.New(cfg.Coalescer,
+	fcfg := frontend.Config{
+		Kind:      cfg.Frontend,
+		Sched:     cfg.Sched,
+		Lanes:     cfg.Hierarchy.CPUs,
+		Coalescer: cfg.Coalescer,
+	}
+	c, err := frontend.New(fcfg,
 		func(tick uint64, e *mshr.Entry) coalescer.IssueResult {
 			packet := uint32(e.Lines()) * cfg.Coalescer.LineBytes
 			requested := uint32(e.Payload())

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hmccoal/internal/fault"
+	"hmccoal/internal/frontend"
 	"hmccoal/internal/membackend"
 	"hmccoal/internal/trace"
 	"hmccoal/internal/workloads"
@@ -19,6 +20,8 @@ type snapshotScenario struct {
 	ops     int
 	mode    Mode
 	backend membackend.Kind
+	fe      frontend.Kind
+	sched   frontend.SchedKind
 	ber     float64 // >0 enables deterministic link fault injection
 	checks  bool
 }
@@ -34,6 +37,16 @@ func snapshotScenarios() []snapshotScenario {
 		{name: "hpcg/faulty", bench: "HPCG", ops: 600, mode: TwoPhase, ber: 1e-5},
 		{name: "ft/faulty-checked", bench: "FT", ops: 600, mode: TwoPhase, ber: 1e-5, checks: true},
 		{name: "hpcg/checked", bench: "HPCG", ops: 400, mode: TwoPhase, checks: true},
+		// The front-end axis: the warp coalescing unit and the hetero issue
+		// policy across every backend and under link faults.
+		{name: "hpcg/warp", bench: "HPCG", ops: 600, mode: TwoPhase, fe: frontend.KindWarp},
+		{name: "ft/warp-ddr", bench: "FT", ops: 400, mode: TwoPhase, fe: frontend.KindWarp, backend: membackend.KindDDR},
+		{name: "hpcg/warp-ideal", bench: "HPCG", ops: 400, mode: TwoPhase, fe: frontend.KindWarp, backend: membackend.KindIdeal},
+		{name: "ft/warp-faulty", bench: "FT", ops: 600, mode: TwoPhase, fe: frontend.KindWarp, ber: 1e-5},
+		{name: "hpcg/warp-hetero", bench: "HPCG", ops: 600, mode: TwoPhase, fe: frontend.KindWarp, sched: frontend.SchedHetero},
+		{name: "ft/hetero", bench: "FT", ops: 600, mode: TwoPhase, sched: frontend.SchedHetero},
+		{name: "ft/warp-hetero-faulty-checked", bench: "FT", ops: 600, mode: TwoPhase,
+			fe: frontend.KindWarp, sched: frontend.SchedHetero, ber: 1e-5, checks: true},
 	}
 }
 
@@ -41,6 +54,8 @@ func (sc snapshotScenario) config() Config {
 	cfg := DefaultConfig()
 	cfg.Mode = sc.mode
 	cfg.Backend = sc.backend
+	cfg.Frontend = sc.fe
+	cfg.Sched = sc.sched
 	cfg.Checks = sc.checks
 	if sc.ber > 0 {
 		cfg.HMC.Fault = fault.Config{Seed: 7, BER: sc.ber}
@@ -231,6 +246,16 @@ func TestSnapshotAPIErrors(t *testing.T) {
 	otherBackend.Backend = membackend.KindIdeal
 	if err := mustSystem(t, otherBackend).Restore(snap); err == nil {
 		t.Error("Restore into a different backend accepted")
+	}
+	otherFrontend := DefaultConfig()
+	otherFrontend.Frontend = frontend.KindWarp
+	if err := mustSystem(t, otherFrontend).Restore(snap); err == nil {
+		t.Error("Restore into a different front-end accepted")
+	}
+	otherSched := DefaultConfig()
+	otherSched.Sched = frontend.SchedHetero
+	if err := mustSystem(t, otherSched).Restore(snap); err == nil {
+		t.Error("Restore into a different issue policy accepted")
 	}
 	checked := DefaultConfig()
 	checked.Checks = true

@@ -284,6 +284,10 @@ func (s *System) stageTraceFeed(a *trace.Access, effTick uint64) error {
 			Write:   m.Write,
 			Payload: m.Payload,
 			Token:   tok,
+			CPU:     m.CPU,
+			// A demand load the core will block on; write-backs and
+			// stores retire without waiting.
+			Critical: !m.WriteBack && !m.Write,
 		})
 	}
 	s.stageRetouch(a, effTick, &missedLines, nMissed)
@@ -328,10 +332,12 @@ func (s *System) stageRetouch(a *trace.Access, effTick uint64, missedLines *[8]u
 		}
 		tok := s.newToken(a.CPU, ln)
 		s.coal.Push(effTick, coalescer.Request{
-			Line:    ln,
-			Write:   a.Kind == trace.Store,
-			Payload: uint32(hi - lo),
-			Token:   tok,
+			Line:     ln,
+			Write:    a.Kind == trace.Store,
+			Payload:  uint32(hi - lo),
+			Token:    tok,
+			CPU:      a.CPU,
+			Critical: a.Kind != trace.Store,
 		})
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"hmccoal/internal/coalescer"
 	"hmccoal/internal/fault"
+	"hmccoal/internal/frontend"
 	"hmccoal/internal/invariant"
 	"hmccoal/internal/membackend"
 	"hmccoal/internal/sim"
@@ -55,6 +56,11 @@ type Scenario struct {
 	// "ddr", "ideal" select the alternatives). Omitted on legacy repro
 	// files, which therefore keep replaying against the HMC.
 	Backend string `json:"backend,omitempty"`
+	// Frontend and Sched name the coalescing front-end and issue policy
+	// ("" are the two-phase / FR-FCFS defaults), omitted on legacy repro
+	// files for the same reason.
+	Frontend string `json:"frontend,omitempty"`
+	Sched    string `json:"sched,omitempty"`
 }
 
 // String names the scenario compactly for logs.
@@ -64,6 +70,12 @@ func (sc Scenario) String() string {
 		sc.BER, sc.DropRate, sc.TimeoutCycles, sc.AdaptiveTimeout)
 	if sc.Backend != "" {
 		s += " backend=" + sc.Backend
+	}
+	if sc.Frontend != "" {
+		s += " frontend=" + sc.Frontend
+	}
+	if sc.Sched != "" {
+		s += " sched=" + sc.Sched
 	}
 	return s
 }
@@ -75,6 +87,24 @@ func (sc Scenario) backendKind() membackend.Kind {
 	k, err := membackend.ParseKind(sc.Backend)
 	if err != nil {
 		return membackend.Kind(-1)
+	}
+	return k
+}
+
+// frontendKind and schedKind resolve the scenario's front-end axes with
+// the same fail-loudly convention as backendKind.
+func (sc Scenario) frontendKind() frontend.Kind {
+	k, err := frontend.ParseKind(sc.Frontend)
+	if err != nil {
+		return frontend.Kind(-1)
+	}
+	return k
+}
+
+func (sc Scenario) schedKind() frontend.SchedKind {
+	k, err := frontend.ParseSched(sc.Sched)
+	if err != nil {
+		return frontend.SchedKind(-1)
 	}
 	return k
 }
@@ -132,6 +162,8 @@ func (sc Scenario) Config() sim.Config {
 	cfg.Coalescer.AdaptiveTimeout = sc.AdaptiveTimeout
 	cfg.HMC.Fault = fault.Config{Seed: sc.FaultSeed, BER: sc.BER, DropRate: sc.DropRate}
 	cfg.Backend = sc.backendKind()
+	cfg.Frontend = sc.frontendKind()
+	cfg.Sched = sc.schedKind()
 	if cfg.Backend != membackend.KindHMC {
 		// Link fault injection is HMC-only: the alternative backends have
 		// no serial links, so their scenarios soak the fault-free paths.
@@ -213,6 +245,12 @@ type Options struct {
 	// HMC model (fault dimensions are neutralized for the link-less
 	// backends). The zero value keeps the legacy HMC grid untouched.
 	Backend membackend.Kind
+	// Frontend and Sched soak every scenario on this coalescing front-end
+	// and issue policy. Like Backend they are campaign-wide overrides, not
+	// random dimensions, so the zero values keep legacy scenario
+	// derivations — and old repro indices — bit-identical.
+	Frontend frontend.Kind
+	Sched    frontend.SchedKind
 	// Checkpoint, when non-empty, persists every classified scenario to a
 	// JSONL file (see sweep.Options.Checkpoint) so an interrupted campaign
 	// resumes without re-running completed scenarios — the serving layer's
@@ -228,6 +266,12 @@ func (o Options) scenario(i int) Scenario {
 	sc := MakeScenario(o.Seed, i)
 	if o.Backend != membackend.KindHMC {
 		sc.Backend = o.Backend.String()
+	}
+	if o.Frontend != frontend.KindTwoPhase {
+		sc.Frontend = o.Frontend.String()
+	}
+	if o.Sched != frontend.SchedFRFCFS {
+		sc.Sched = o.Sched.String()
 	}
 	return sc
 }
@@ -277,13 +321,23 @@ func Soak(ctx context.Context, opts Options) (Report, error) {
 		return rep, nil
 	}
 
-	results, err := sweep.Map(ctx, opts.Runs, sweep.Options{
+	swOpts := sweep.Options{
 		Workers:    opts.Workers,
 		JobTimeout: opts.JobTimeout,
 		KeepGoing:  true,
 		Progress:   opts.Progress,
 		Checkpoint: opts.Checkpoint,
-	}, func(ctx context.Context, i int) (result, error) {
+	}
+	// Tag checkpoint lines with the campaign's front-end axes so a warp
+	// campaign never resumes from two-phase outcomes; default campaigns
+	// stay untagged, keeping legacy checkpoints restorable.
+	if opts.Frontend != frontend.KindTwoPhase {
+		swOpts.Frontend = opts.Frontend.String()
+	}
+	if opts.Sched != frontend.SchedFRFCFS {
+		swOpts.Sched = opts.Sched.String()
+	}
+	results, err := sweep.Map(ctx, opts.Runs, swOpts, func(ctx context.Context, i int) (result, error) {
 		sc := opts.scenario(i)
 		accs, err := sc.Trace()
 		if err != nil {

@@ -75,6 +75,13 @@ type Options struct {
 	// default: checkpoints written before backends existed carry no tag
 	// and keep restoring into untagged (default-backend) sweeps.
 	Backend string
+	// Frontend and Sched tag every checkpoint line with the sweep's
+	// coalescing front-end and issue policy, with the same skip-on-restore
+	// and legacy-line rules as Backend: empty tags are the two-phase /
+	// FR-FCFS defaults, and untagged lines (including every pre-frontend
+	// checkpoint) restore only into untagged sweeps.
+	Frontend string
+	Sched    string
 }
 
 // JobError wraps a job failure with the index of the job that failed.
@@ -144,6 +151,10 @@ type checkpointLine struct {
 	// Backend is the sweep's memory-backend tag; empty on legacy lines
 	// (and on untagged sweeps, keeping their format byte-compatible).
 	Backend string `json:"backend,omitempty"`
+	// Frontend and Sched are the coalescing front-end and issue-policy
+	// tags, empty on legacy and default-front-end lines alike.
+	Frontend string `json:"frontend,omitempty"`
+	Sched    string `json:"sched,omitempty"`
 	// Result is deferred so restore can skip records whose envelope does
 	// not match before paying for the payload.
 	Result json.RawMessage `json:"result"`
@@ -194,7 +205,7 @@ func MapBatch[T any](ctx context.Context, n, batch int, opts Options, fn func(ct
 	restored := make([]bool, n)
 	var ckpt *os.File
 	if opts.Checkpoint != "" {
-		nRestored, err := restoreCheckpoint(opts.Checkpoint, n, opts.Backend, results, restored)
+		nRestored, err := restoreCheckpoint(opts.Checkpoint, n, opts, results, restored)
 		if err != nil {
 			return results, err
 		}
@@ -292,7 +303,7 @@ func MapBatch[T any](ctx context.Context, n, batch int, opts Options, fn func(ct
 					results[i] = rs[k]
 				}
 				finish(len(g), nil, func() error {
-					return appendCheckpoint(ckpt, g, n, opts.Backend, rs)
+					return appendCheckpoint(ckpt, g, n, opts, rs)
 				})
 			}
 		}()
@@ -362,13 +373,13 @@ func runGroup[T any](ctx context.Context, idxs []int, opts Options, fn func(ctx 
 // lines are skipped — and the scan continues past them, so a line torn by
 // a crash mid-append (which a resumed sweep then re-appends after) costs
 // exactly that line, never the rest of the file. Legacy lines carry no
-// backend tag and restore only into untagged sweeps.
+// backend/frontend/sched tags and restore only into untagged sweeps.
 //
 // Duplicate indices are last-wins: when a job appears twice — an
 // interrupted write whose complete record was re-appended on resume — the
 // later, complete line supersedes the earlier one. A job only counts as
 // restored once, and only a line whose payload decodes can supersede.
-func restoreCheckpoint[T any](path string, n int, backend string, results []T, restored []bool) (int, error) {
+func restoreCheckpoint[T any](path string, n int, opts Options, results []T, restored []bool) (int, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
@@ -392,8 +403,11 @@ func restoreCheckpoint[T any](path string, n int, backend string, results []T, r
 		if err := json.Unmarshal(raw, &line); err != nil {
 			continue // torn or corrupt line: skip it, keep scanning
 		}
-		if line.N != n || line.Backend != backend || line.Job < 0 || line.Job >= n {
+		if line.N != n || line.Backend != opts.Backend || line.Job < 0 || line.Job >= n {
 			continue
+		}
+		if line.Frontend != opts.Frontend || line.Sched != opts.Sched {
+			continue // a different front-end's results: never resume across them
 		}
 		var r T
 		if err := json.Unmarshal(line.Result, &r); err != nil {
@@ -417,7 +431,7 @@ func restoreCheckpoint[T any](path string, n int, backend string, results []T, r
 // group as done, so a power loss can only take the lines after the last
 // sync — never reorder a complete, acknowledged line behind a torn one.
 // Does nothing when checkpointing is off.
-func appendCheckpoint[T any](f *os.File, idxs []int, n int, backend string, rs []T) error {
+func appendCheckpoint[T any](f *os.File, idxs []int, n int, opts Options, rs []T) error {
 	if f == nil {
 		return nil
 	}
@@ -427,7 +441,11 @@ func appendCheckpoint[T any](f *os.File, idxs []int, n int, backend string, rs [
 		if err != nil {
 			return fmt.Errorf("sweep: checkpoint job %d: %w", i, err)
 		}
-		line, err := json.Marshal(checkpointLine{Job: i, N: n, Backend: backend, Result: raw})
+		line, err := json.Marshal(checkpointLine{
+			Job: i, N: n,
+			Backend: opts.Backend, Frontend: opts.Frontend, Sched: opts.Sched,
+			Result: raw,
+		})
 		if err != nil {
 			return fmt.Errorf("sweep: checkpoint job %d: %w", i, err)
 		}

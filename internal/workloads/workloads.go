@@ -82,9 +82,16 @@ func Names() []string {
 	return names
 }
 
-// ByName finds a generator by its (case-sensitive) benchmark name.
+// ByName finds a generator by its (case-sensitive) benchmark name. The
+// stride-ladder microbenchmarks (StrideLadder) resolve here too, without
+// being part of All()'s figure grid.
 func ByName(name string) (Generator, bool) {
 	for _, g := range All() {
+		if g.Name() == name {
+			return g, true
+		}
+	}
+	for _, g := range StrideLadder() {
 		if g.Name() == name {
 			return g, true
 		}

@@ -39,6 +39,9 @@ const (
 	SweepSpeedup SweepKind = "speedup"
 	// SweepFault is one benchmark's (error rate × 3 architectures) grid.
 	SweepFault SweepKind = "fault"
+	// SweepStride is the (stride microbenchmark × {front-end × scheduler})
+	// grid of the front-end efficiency ladder.
+	SweepStride SweepKind = "stride"
 )
 
 // SweepSpec is the serializable description of one sweep grid. It is the
@@ -64,6 +67,11 @@ type SweepSpec struct {
 	Checks bool `json:"checks,omitempty"`
 	// Backend names the memory backend ("" is the default HMC).
 	Backend string `json:"backend,omitempty"`
+	// Frontend and Sched name the coalescing front-end and its issue
+	// policy ("" are the two-phase / FR-FCFS defaults). SweepStride grids
+	// sweep both axes themselves and ignore these.
+	Frontend string `json:"frontend,omitempty"`
+	Sched    string `json:"sched,omitempty"`
 	// Batch is the lockstep lane width each executor runs its groups on.
 	Batch int `json:"batch,omitempty"`
 }
@@ -113,9 +121,19 @@ func (s SweepSpec) compile() (*sweepGrid, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hmccoal: sweep spec: %w", err)
 	}
+	fe, err := ParseFrontend(s.Frontend)
+	if err != nil {
+		return nil, fmt.Errorf("hmccoal: sweep spec: %w", err)
+	}
+	sched, err := ParseSched(s.Sched)
+	if err != nil {
+		return nil, fmt.Errorf("hmccoal: sweep spec: %w", err)
+	}
 	base := DefaultConfig()
 	base.Checks = s.Checks
 	base.Backend = backend
+	base.Frontend = fe
+	base.Sched = sched
 
 	g := &sweepGrid{base: base}
 	one := func() []string { return []string{s.Bench} }
@@ -178,6 +196,18 @@ func (s SweepSpec) compile() (*sweepGrid, error) {
 		}
 		g.name = func(i int) string {
 			return fmt.Sprintf("%s/ber=%g/%v", g.benches[i/g.perBench], s.BERs[(i%g.perBench)/nModes], runAllModes[i%nModes])
+		}
+	case SweepStride:
+		g.benches, g.perBench = s.Benches, len(strideCombos)
+		g.cfg = func(i int) Config {
+			cfg := base
+			c := strideCombos[i%g.perBench]
+			cfg.Frontend, cfg.Sched = c.fe, c.sched
+			return cfg
+		}
+		g.name = func(i int) string {
+			c := strideCombos[i%g.perBench]
+			return fmt.Sprintf("%s/%v/%v", g.benches[i/g.perBench], c.fe, c.sched)
 		}
 	default:
 		return nil, fmt.Errorf("hmccoal: sweep spec: unknown kind %q", s.Kind)

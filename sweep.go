@@ -8,6 +8,7 @@ import (
 
 	"hmccoal/internal/metrics"
 	"hmccoal/internal/sweep"
+	"hmccoal/internal/workloads"
 )
 
 // SweepOptions tunes the parallel evaluation sweeps (RunAllContext,
@@ -45,6 +46,14 @@ type SweepOptions struct {
 	// checkpoint lines stay untagged, so pre-backend checkpoints keep
 	// resuming (sweep.Options.Backend).
 	Backend BackendKind
+	// Frontend and Sched select the coalescing front-end and its issue
+	// policy for every simulation of the sweep (see Config.Frontend,
+	// Config.Sched). Like Backend, the zero values (two-phase, FR-FCFS)
+	// leave checkpoint lines untagged so pre-frontend checkpoints keep
+	// resuming; the StrideLadder grid sweeps both axes itself and ignores
+	// these.
+	Frontend FrontendKind
+	Sched    SchedKind
 	// Dispatch, when non-nil, ships every job group to external executors
 	// instead of running it in-process — the distributed sweep path (see
 	// Dispatcher and internal/dsweep). Workers then bounds in-flight
@@ -64,6 +73,12 @@ func (o SweepOptions) engine() sweep.Options {
 	if o.Backend != BackendHMC {
 		opt.Backend = o.Backend.String()
 	}
+	if o.Frontend != FrontendTwoPhase {
+		opt.Frontend = o.Frontend.String()
+	}
+	if o.Sched != SchedFRFCFS {
+		opt.Sched = o.Sched.String()
+	}
 	return opt
 }
 
@@ -72,6 +87,12 @@ func (o SweepOptions) spec(kind SweepKind, p TraceParams) SweepSpec {
 	s := SweepSpec{Kind: kind, Params: p, Checks: o.Checks, Batch: o.Batch}
 	if o.Backend != BackendHMC {
 		s.Backend = o.Backend.String()
+	}
+	if o.Frontend != FrontendTwoPhase {
+		s.Frontend = o.Frontend.String()
+	}
+	if o.Sched != SchedFRFCFS {
+		s.Sched = o.Sched.String()
 	}
 	return s
 }
@@ -436,4 +457,58 @@ func FaultSweepContext(ctx context.Context, name string, p TraceParams, seed uin
 		}
 	}
 	return rows, nil
+}
+
+// strideCombos is the front-end × scheduler axis of the stride-ladder
+// grid, in display order: both issue policies under the paper's two-phase
+// coalescer, then under the GPU-style warp coalescing unit.
+var strideCombos = [4]struct {
+	fe    FrontendKind
+	sched SchedKind
+}{
+	{FrontendTwoPhase, SchedFRFCFS},
+	{FrontendTwoPhase, SchedHetero},
+	{FrontendWarp, SchedFRFCFS},
+	{FrontendWarp, SchedHetero},
+}
+
+// StrideRun is one stride microbenchmark replayed under every front-end ×
+// scheduler combination, results in strideCombos order.
+type StrideRun struct {
+	Name    string
+	Results [len(strideCombos)]Result
+}
+
+// StrideLadderContext runs the stride microbenchmark ladder (stride1 …
+// stride32) under every {front-end × scheduler} combination: the classic
+// GPU memory-coalescing efficiency staircase, measured on both the
+// two-phase coalescer and the warp coalescing unit with each issue
+// policy. The (stride × combination) grid fans across the worker pool
+// with one shared trace per stride, and like every sweep the rows are
+// byte-identical at any worker count, batch width or under distributed
+// dispatch.
+func StrideLadderContext(ctx context.Context, p TraceParams, opt SweepOptions) ([]StrideRun, error) {
+	// The grid carries the front-end × scheduler axes in-band — every
+	// job's configuration and name come from its combo — so option-level
+	// tags would only mislabel its checkpoint lines: drop them.
+	opt.Frontend, opt.Sched = FrontendTwoPhase, SchedFRFCFS
+	names := workloads.StrideNames()
+	spec := opt.spec(SweepStride, p)
+	spec.Benches = names
+	cells, err := mapSpec(ctx, spec, opt, func(_ int, c SweepCell) Result { return c.Res })
+	if err != nil {
+		return nil, err
+	}
+	n := len(strideCombos)
+	runs := make([]StrideRun, len(names))
+	for b, name := range names {
+		runs[b].Name = name
+		copy(runs[b].Results[:], cells[b*n:(b+1)*n])
+	}
+	return runs, nil
+}
+
+// StrideLadder is StrideLadderContext without cancellation.
+func StrideLadder(p TraceParams, opt SweepOptions) ([]StrideRun, error) {
+	return StrideLadderContext(context.Background(), p, opt)
 }
